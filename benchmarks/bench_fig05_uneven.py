@@ -1,0 +1,64 @@
+"""Fig. 5 — uneven per-matrix sparsity under global EW pruning.
+
+EW-prunes the trained MiniBERT at 75 % overall sparsity with one *global*
+ranking and reports the sparsity of every weight matrix.  The paper's
+BERT-base shows per-matrix sparsities ranging roughly 0.55–0.95 around the
+0.75 mean across its 72 matrices; the mini model has 12 matrices (2 layers
+× 6) — the per-matrix *spread* is the reproduced phenomenon.
+
+This unevenness is the paper's argument for TW over VW: VW's fixed
+per-vector quota cannot express it.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    ExperimentRecord,
+    ascii_series,
+    per_matrix_sparsity,
+    save_results,
+)
+from repro.core.importance import ImportanceConfig, score_matrix
+from repro.patterns import ElementWisePattern
+
+SPARSITY = 0.75
+
+
+def ew_per_matrix_sparsity(bundle):
+    adapter = bundle.adapter()
+    weights = adapter.weight_matrices()
+    grads = adapter.gradient_matrices()
+    cfg = ImportanceConfig(method="taylor")
+    scores = [score_matrix(w, g, cfg) for w, g in zip(weights, grads)]
+    masks = ElementWisePattern(scope="global").prune(scores, SPARSITY).masks
+    return per_matrix_sparsity(masks)
+
+
+def test_fig05_uneven_distribution(benchmark, tasks, results_dir):
+    bundle = tasks.get("mnli")
+    bundle.restore()
+    sp = benchmark.pedantic(lambda: ew_per_matrix_sparsity(bundle), rounds=1, iterations=1)
+
+    print(f"\nFig. 5: per-matrix sparsity of global EW pruning at {SPARSITY:.0%}")
+    print(ascii_series(list(range(len(sp))), list(sp), label="matrix index vs sparsity"))
+    print(f"mean {sp.mean():.3f}  min {sp.min():.3f}  max {sp.max():.3f}  "
+          f"spread {sp.max() - sp.min():.3f}")
+
+    # overall budget hit, but the distribution is genuinely uneven
+    assert abs(np.average(sp, weights=[w.size for w in
+               bundle.model.prunable_weights()]) - SPARSITY) < 0.02
+    assert sp.max() - sp.min() > 0.1  # the Fig. 5 phenomenon
+
+    save_results(
+        ExperimentRecord(
+            experiment="fig05",
+            description="Per-matrix sparsity under global EW pruning (75%)",
+            series={"per_matrix_sparsity": sp.tolist()},
+            paper_anchors={
+                "overall": SPARSITY,
+                "paper spread (BERT-base, 72 matrices)": "~0.55-0.95",
+            },
+            notes="Mini model: 12 matrices (2 layers x 6) instead of 72.",
+        ),
+        results_dir,
+    )

@@ -1,0 +1,113 @@
+"""Fig. 9 — the TW granularity design space.
+
+(a) accuracy vs sparsity for EW, TW at several granularities, and BW at
+    several block sizes (trained MiniBERT, real prune + fine-tune);
+(b) normalised latency vs sparsity for TW G∈{64,128} and BW {32,64} on
+    BERT-base shapes (simulated V100 tensor cores).
+
+Paper shape: all patterns hold accuracy to ~50 % sparsity ("BERT is at
+least 50 % redundant"); past that EW ≥ TW(small G) ≥ TW(large G) ≥ BW;
+TW-128 breaks even around 40 % sparsity and reaches ~2.26× at 75 %, while
+BW-64 needs >90 % sparsity to beat dense.
+"""
+
+import numpy as np
+
+from repro.analysis import ExperimentRecord, format_table, save_results
+from repro.experiments import sparsity_sweep
+
+ACC_SPARSITIES = (0.5, 0.75, 0.9)
+LAT_SPARSITIES = (0.0, 0.2, 0.4, 0.6, 0.75, 0.9, 0.99)
+
+
+def test_fig09a_accuracy(benchmark, accuracy_cache, results_dir):
+    configs = [
+        ("EW", "ew", {}),
+        ("TW G=32-eq", "tw", {"granularity": 2}),
+        ("TW G=64-eq", "tw", {"granularity": 4}),
+        ("TW G=128-eq", "tw", {"granularity": 8}),
+        ("BW 32-eq", "bw", {"block_shape": (4, 4)}),
+        ("BW 64-eq", "bw", {"block_shape": (8, 8)}),
+    ]
+
+    def sweep():
+        out = {}
+        for label, pattern, kw in configs:
+            out[label] = [
+                accuracy_cache.point("mnli", pattern, s, **kw) for s in ACC_SPARSITIES
+            ]
+        return out
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline = accuracy_cache.baseline("mnli")
+
+    rows = [[label] + vals for label, vals in series.items()]
+    print(f"\nFig. 9a: accuracy vs sparsity (dense baseline {baseline:.3f})")
+    print(format_table(["config"] + [f"s={s}" for s in ACC_SPARSITIES], rows))
+
+    # paper shape assertions (with tolerance for mini-model noise):
+    # 1. at 50% everything is close to dense
+    for label in series:
+        assert series[label][0] > baseline - 0.08, f"{label} collapsed at 50%"
+    # 2. at 90%, EW >= the coarsest BW
+    assert series["EW"][-1] >= series["BW 64-eq"][-1] - 0.03
+    # 3. TW at its largest granularity stays above the coarsest BW at 90%
+    assert series["TW G=128-eq"][-1] >= series["BW 64-eq"][-1] - 0.03
+
+    save_results(
+        ExperimentRecord(
+            experiment="fig09a",
+            description="Accuracy vs sparsity across granularities (MNLI-like)",
+            series={"sparsities": list(ACC_SPARSITIES), "dense": baseline, **series},
+            paper_anchors={
+                "<=50% sparsity is free": True,
+                "TW-128 drop at 75% vs EW": 0.009,
+                "BW-64 drop at 75%": 0.04,
+            },
+            notes="Mini granularities labelled by full-size equivalent "
+                  "(G/dim ratio preserved: dim 48 vs 768).",
+        ),
+        results_dir,
+    )
+
+
+def test_fig09b_latency(benchmark, results_dir):
+    def sweep():
+        return {
+            "TW G=64": sparsity_sweep("bert", "tw", LAT_SPARSITIES, granularity=64),
+            "TW G=128": sparsity_sweep("bert", "tw", LAT_SPARSITIES, granularity=128),
+            "BW 32x32": sparsity_sweep("bert", "bw", LAT_SPARSITIES, block_size=32),
+            "BW 64x64": sparsity_sweep("bert", "bw", LAT_SPARSITIES, block_size=64),
+        }
+
+    series = benchmark(sweep)
+    rows = [
+        [label] + [f"{1.0 / v:.2f}" for v in vals]  # normalised latency = 1/speedup
+        for label, vals in series.items()
+    ]
+    print("\nFig. 9b: normalised latency (dense = 1.0) vs sparsity")
+    print(format_table(["config"] + [f"s={s}" for s in LAT_SPARSITIES], rows))
+
+    tw128 = series["TW G=128"]
+    # paper anchors: TW-128 ~2.26x at 75%; G=64 slower than G=128;
+    # BW-64 beats dense only at very high sparsity
+    i75 = LAT_SPARSITIES.index(0.75)
+    assert 1.7 <= tw128[i75] <= 2.6
+    assert series["TW G=64"][i75] < tw128[i75]
+    i60 = LAT_SPARSITIES.index(0.6)
+    assert series["BW 64x64"][i60] < 1.0
+    assert series["BW 64x64"][LAT_SPARSITIES.index(0.99)] > 1.0
+
+    save_results(
+        ExperimentRecord(
+            experiment="fig09b",
+            description="Normalised latency vs sparsity (BERT-base shapes, TC)",
+            series={"sparsities": list(LAT_SPARSITIES),
+                    **{k: [1.0 / v for v in vals] for k, vals in series.items()}},
+            paper_anchors={"TW-128 at 75%": 1 / 2.26, "breakeven": 0.40,
+                           "measured TW-128 at 75%": 1 / tw128[i75]},
+            notes="Model break-even sits near 25-30% vs the paper's ~40% "
+                  "(documented deviation, see EXPERIMENTS.md).",
+        ),
+        results_dir,
+    )

@@ -1,0 +1,96 @@
+"""Fig. 13 — weight-survival heat-maps of the four patterns at 75 %.
+
+Prunes the trained MiniBERT's layer-0 attention matrix Wq with each pattern
+and renders the surviving-weight density as a coarse heat-map — EW shows
+smooth speckle with row/column texture, VW is uniform by construction, BW
+is blocky, and TW shows full rows/columns removed with per-tile variation.
+
+Quantified fingerprints replace visual inspection:
+
+- VW's per-column sparsity variance ≈ 0 (the uniformity the paper
+  criticises);
+- TW's column-sparsity variance is the largest (whole columns die);
+- BW's mask is exactly block-granular.
+"""
+
+import numpy as np
+
+from repro.analysis import ExperimentRecord, format_table, mask_heatmap, save_results
+from repro.core.importance import ImportanceConfig, score_matrix
+from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
+from repro.patterns import BlockWisePattern, ElementWisePattern, VectorWisePattern
+
+SPARSITY = 0.75
+
+
+def pattern_masks(bundle):
+    """One mask per pattern for the layer-0 Wq matrix (index 0)."""
+    adapter = bundle.adapter()
+    weights = adapter.weight_matrices()
+    grads = adapter.gradient_matrices()
+    cfg = ImportanceConfig(method="taylor")
+    scores = [score_matrix(w, g, cfg) for w, g in zip(weights, grads)]
+    masks = {
+        "EW": ElementWisePattern(scope="local").prune([scores[0]], SPARSITY).masks[0],
+        "VW": VectorWisePattern(vector_size=8).prune([scores[0]], SPARSITY).masks[0],
+        "BW": BlockWisePattern(block_shape=(4, 4)).prune([scores[0]], SPARSITY).masks[0],
+        "TW": tw_prune_step([scores[0]], SPARSITY, TWPruneConfig(granularity=8)).masks[0],
+    }
+    return masks
+
+
+def render(hm: np.ndarray) -> str:
+    shades = " .:-=+*#%@"
+    lines = []
+    for row in hm:
+        lines.append("".join(shades[min(int(v * (len(shades) - 1)), 9)] for v in row))
+    return "\n".join(lines)
+
+
+def test_fig13_heatmaps(benchmark, tasks, results_dir):
+    bundle = tasks.get("mnli")
+    bundle.restore()
+    masks = benchmark.pedantic(lambda: pattern_masks(bundle), rounds=1, iterations=1)
+
+    stats = {}
+    for label, mask in masks.items():
+        hm = mask_heatmap(mask, grid=12)
+        print(f"\nFig. 13 ({label}) density heat-map "
+              f"(sparsity {1 - mask.mean():.2f}):")
+        print(render(hm))
+        col_sp = 1.0 - mask.mean(axis=0)
+        stats[label] = {
+            "sparsity": float(1 - mask.mean()),
+            "col_sparsity_std": float(col_sp.std()),
+            "fully_zero_cols": int((col_sp == 1.0).sum()),
+        }
+
+    print("\npattern fingerprints:")
+    print(format_table(
+        ["pattern", "sparsity", "col-sparsity std", "fully-zero cols"],
+        [[k, v["sparsity"], v["col_sparsity_std"], v["fully_zero_cols"]]
+         for k, v in stats.items()],
+    ))
+
+    # VW is uniform per column; TW kills whole columns; BW is block-granular
+    assert stats["VW"]["col_sparsity_std"] < 0.02
+    assert stats["TW"]["fully_zero_cols"] > 0
+    assert stats["TW"]["col_sparsity_std"] > stats["VW"]["col_sparsity_std"]
+    bw_mask = masks["BW"]
+    for r0 in range(0, bw_mask.shape[0], 4):
+        for c0 in range(0, bw_mask.shape[1], 4):
+            blk = bw_mask[r0 : r0 + 4, c0 : c0 + 4]
+            assert blk.all() or not blk.any()
+
+    save_results(
+        ExperimentRecord(
+            experiment="fig13",
+            description="Pattern structure on layer-0 Wq at 75% sparsity",
+            series=stats,
+            paper_anchors={
+                "VW uniform per unit": True,
+                "TW adapts to sparsity locality": True,
+            },
+        ),
+        results_dir,
+    )

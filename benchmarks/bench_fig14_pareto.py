@@ -1,0 +1,98 @@
+"""Fig. 14 — the accuracy/latency Pareto frontier.
+
+Combines the measured accuracy sweeps (mini models, real pruning) with the
+simulated full-size latency of each configuration, for BERT / VGG / NMT on
+tensor cores (TW vs BW) and CUDA cores (TW vs EW vs VW) — the paper's
+summary plot.
+
+Paper claim: **only TW extends the Pareto frontier** — on both engines and
+all three models, every other sparse pattern is dominated by the dense
+point (slower *and* less accurate).
+"""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentRecord,
+    ParetoPoint,
+    format_table,
+    pareto_frontier,
+    save_results,
+)
+from repro.experiments import gemm_speedup
+
+SPARSITIES = (0.5, 0.75, 0.9)
+TASK_TO_MODEL = {"mnli": "bert", "vgg": "vgg", "nmt": "nmt"}
+MINI_KW = {
+    "mnli": {"granularity": 8, "block_shape": (4, 4), "vector_size": 16},
+    "vgg": {"granularity": 4, "block_shape": (4, 4), "vector_size": 8},
+    "nmt": {"granularity": 8, "block_shape": (4, 4), "vector_size": 16},
+}
+ENGINE_PATTERNS = {
+    "tensor_core": ("tw", "bw"),
+    "cuda_core": ("tw", "ew", "vw"),
+}
+
+
+def build_points(accuracy_cache, task: str, engine: str) -> list[ParetoPoint]:
+    model = TASK_TO_MODEL[task]
+    kw = MINI_KW[task]
+    pts = [ParetoPoint(accuracy_cache.baseline(task), 1.0, "dense")]
+    for pattern in ENGINE_PATTERNS[engine]:
+        for s in SPARSITIES:
+            acc_kw = {}
+            lat_kw = {}
+            if pattern == "tw":
+                acc_kw = {"granularity": kw["granularity"]}
+                lat_kw = {"granularity": 128}
+            elif pattern == "bw":
+                acc_kw = {"block_shape": kw["block_shape"]}
+                lat_kw = {"block_size": 32}
+            elif pattern == "vw":
+                acc_kw = {"vector_size": kw["vector_size"]}
+            acc = accuracy_cache.point(task, pattern, s, **acc_kw)
+            speed = gemm_speedup(model, pattern, s, engine=engine, **lat_kw)
+            pts.append(ParetoPoint(acc, speed, f"{pattern.upper()}@{s:.0%}"))
+    return pts
+
+
+@pytest.mark.parametrize("task", ["mnli", "vgg", "nmt"])
+@pytest.mark.parametrize("engine", ["tensor_core", "cuda_core"])
+def test_fig14_pareto(benchmark, accuracy_cache, results_dir, task, engine):
+    points = benchmark.pedantic(
+        lambda: build_points(accuracy_cache, task, engine), rounds=1, iterations=1
+    )
+    frontier = pareto_frontier(points)
+    frontier_labels = {p.label for p in frontier}
+
+    print(f"\nFig. 14 ({task} on {engine}):")
+    rows = [
+        [p.label, p.accuracy, p.speedup, "*" if p.label in frontier_labels else ""]
+        for p in points
+    ]
+    print(format_table(["config", "accuracy", "speedup", "frontier"], rows))
+
+    # the paper's claim: TW extends the frontier beyond the dense point;
+    # no other sparse pattern does
+    tw_on_frontier = any(lbl.startswith("TW") for lbl in frontier_labels)
+    others_faster_than_dense = [
+        p for p in points
+        if not p.label.startswith(("TW", "dense")) and p.speedup > 1.0
+    ]
+    assert tw_on_frontier, "TW should extend the Pareto frontier"
+    # EW/VW/BW may only beat dense at sparsities that wreck accuracy; they
+    # must never dominate the dense point
+    dense_pt = points[0]
+    for p in others_faster_than_dense:
+        assert p.accuracy < dense_pt.accuracy, f"{p.label} dominates dense"
+
+    save_results(
+        ExperimentRecord(
+            experiment=f"fig14_{task}_{engine}",
+            description=f"Pareto frontier for {task} on {engine}",
+            series={"points": [p.as_dict() for p in points],
+                    "frontier": sorted(frontier_labels)},
+            paper_anchors={"only TW extends the frontier": True},
+        ),
+        results_dir,
+    )

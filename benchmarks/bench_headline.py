@@ -1,0 +1,137 @@
+"""Headline result — average speedups at accuracy-matched sparsity.
+
+The paper's abstract numbers: at matched accuracy (BERT < 3 % drop, VGG
+< 1 % drop, NMT < 1 BLEU drop), TW averages **1.95×** on tensor cores and
+**2.86×** on CUDA cores across the three models, while the baselines all
+*slow down*: BW 0.41× (TC), EW 0.69× and VW 0.47× (CUDA).
+
+This bench selects, per pattern and model, the highest measured sparsity
+within the drop budget (from the accuracy sweeps), prices it on the
+simulator, and averages across models.
+"""
+
+import numpy as np
+
+from repro.analysis import ExperimentRecord, format_table, save_results
+from repro.experiments import accuracy_matched_sparsity, gemm_speedup
+from repro.experiments.matched import DROP_BUDGETS
+
+SPARSITIES = (0.25, 0.5, 0.75, 0.9)
+TASK_TO_MODEL = {"mnli": "bert", "vgg": "vgg", "nmt": "nmt"}
+MINI_KW = {
+    "mnli": {"granularity": 8, "block_shape": (4, 4), "vector_size": 16},
+    "vgg": {"granularity": 4, "block_shape": (4, 4), "vector_size": 8},
+    "nmt": {"granularity": 8, "block_shape": (4, 4), "vector_size": 16},
+}
+
+
+def matched_speedups(accuracy_cache):
+    """Per-pattern speedups at each model's accuracy-matched sparsity."""
+    out: dict[str, dict[str, tuple[float | None, float | None]]] = {}
+    for task, model in TASK_TO_MODEL.items():
+        kw = MINI_KW[task]
+        baseline = accuracy_cache.baseline(task)
+        budget = DROP_BUDGETS[task]
+        out[task] = {}
+        for pattern in ("tw", "ew", "vw", "bw"):
+            acc_kw = {}
+            lat_kw: dict = {"engine": "tensor_core"}
+            if pattern == "tw":
+                acc_kw = {"granularity": kw["granularity"]}
+                lat_kw["granularity"] = 128
+            elif pattern == "bw":
+                acc_kw = {"block_shape": kw["block_shape"]}
+                lat_kw["block_size"] = 32
+            elif pattern == "vw":
+                acc_kw = {"vector_size": kw["vector_size"]}
+            metrics = [
+                accuracy_cache.point(task, pattern, s, **acc_kw) for s in SPARSITIES
+            ]
+            matched = accuracy_matched_sparsity(SPARSITIES, metrics, baseline, budget)
+            if matched is None:
+                out[task][pattern] = (None, None)
+                continue
+            tc = gemm_speedup(model, pattern, matched, **lat_kw)
+            cu = gemm_speedup(
+                model, pattern, matched,
+                **{**lat_kw, "engine": "cuda_core"},
+            )
+            out[task][pattern] = (matched, (tc, cu))
+    return out
+
+
+def test_headline(benchmark, accuracy_cache, results_dir):
+    table = benchmark.pedantic(
+        lambda: matched_speedups(accuracy_cache), rounds=1, iterations=1
+    )
+
+    rows = []
+    averages: dict[str, dict[str, list[float]]] = {}
+    for task, per_pattern in table.items():
+        for pattern, (matched, speeds) in per_pattern.items():
+            if matched is None:
+                rows.append([task, pattern.upper(), "-", "-", "-"])
+                continue
+            tc, cu = speeds
+            rows.append([task, pattern.upper(), f"{matched:.0%}", tc, cu])
+            averages.setdefault(pattern, {"tc": [], "cuda": []})
+            averages[pattern]["tc"].append(tc)
+            averages[pattern]["cuda"].append(cu)
+
+    print("\nHeadline: speedups at accuracy-matched sparsity")
+    print(format_table(
+        ["task", "pattern", "matched s", "TC speedup", "CUDA speedup"], rows
+    ))
+
+    avg_rows = []
+    summary = {}
+    for pattern, d in averages.items():
+        tc_avg = float(np.mean(d["tc"])) if d["tc"] else float("nan")
+        cu_avg = float(np.mean(d["cuda"])) if d["cuda"] else float("nan")
+        avg_rows.append([pattern.upper(), tc_avg, cu_avg])
+        summary[pattern] = {"tc": tc_avg, "cuda": cu_avg}
+    print("\naverages across models (at OUR models' matched sparsities):")
+    print(format_table(["pattern", "TC avg", "CUDA avg"], avg_rows))
+    print("paper: TW 1.95x (TC) / 2.86x (CUDA); BW 0.41x; EW 0.69x; VW 0.47x")
+    print("note: the mini accuracy models saturate differently from "
+          "BERT-base, so matched sparsities differ (see EXPERIMENTS.md).")
+
+    # the matched regime: TW never slows inference down, EW/VW always do
+    assert summary["tw"]["tc"] > 1.0 and summary["tw"]["cuda"] > 1.0
+    for p in ("ew", "vw"):
+        if p in summary and not np.isnan(summary[p]["tc"]):
+            assert summary[p]["tc"] < 1.0 and summary[p]["cuda"] < 1.0
+
+    # the paper's canonical regime: all patterns at the 75% sparsity BERT
+    # sustains (<3% drop in the paper).  This pins the who-wins shape
+    # independently of the mini models' different saturation behaviour.
+    canonical = {
+        "tw": gemm_speedup("bert", "tw", 0.75, granularity=128),
+        "ew": gemm_speedup("bert", "ew", 0.75),
+        "vw": gemm_speedup("bert", "vw", 0.75),
+        "bw": gemm_speedup("bert", "bw", 0.66, block_size=32),  # BW affords less
+    }
+    print("\ncanonical 75% regime (BERT shapes): "
+          + "  ".join(f"{k.upper()}={v:.2f}x" for k, v in canonical.items()))
+    assert canonical["tw"] > 1.5
+    assert canonical["ew"] < 1.0
+    assert canonical["vw"] < 1.0
+    assert canonical["bw"] < 1.0
+
+    save_results(
+        ExperimentRecord(
+            experiment="headline",
+            description="Average speedups at accuracy-matched sparsity",
+            series={"per_task": {
+                t: {p: {"matched": m, "speedups": s} for p, (m, s) in d.items()}
+                for t, d in table.items()
+            }, "averages": summary, "canonical_75pct": canonical},
+            paper_anchors={"TW": {"tc": 1.95, "cuda": 2.86},
+                           "BW": 0.41, "EW": 0.69, "VW": 0.47},
+            notes="Mini accuracy models tolerate higher sparsity than "
+                  "BERT-base (task saturation), so matched sparsities and "
+                  "averages run high; the canonical-75% row carries the "
+                  "who-wins comparison.",
+        ),
+        results_dir,
+    )

@@ -1,0 +1,38 @@
+"""Shared fixtures for the figure benchmarks.
+
+Training is expensive relative to pruning, so each task's dense model is
+trained once per session (lazily) and snapshotted; every pruning run
+restores the snapshot.  Accuracy points are additionally cached on disk
+(``results/accuracy_cache.json``) so that figure benchmarks which share
+sweeps (Fig. 12 / Fig. 14 / headline) do not recompute them within or
+across runs.  Delete the cache file to force re-measurement.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from benchmarks._shared import AccuracyCache, TaskPool
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Where benchmark records are written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def tasks() -> TaskPool:
+    """Lazily-trained dense models for the four tasks."""
+    return TaskPool()
+
+
+@pytest.fixture(scope="session")
+def accuracy_cache(tasks, results_dir) -> AccuracyCache:
+    """Disk-backed accuracy-point cache shared by the figure benches."""
+    return AccuracyCache(tasks, results_dir / "accuracy_cache.json")

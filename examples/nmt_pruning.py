@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Prune the attention NMT model and track BLEU (paper Fig. 12d).
+
+Trains the MiniNMT encoder-decoder on the synthetic translation task, then
+sweeps TW sparsity and reports BLEU after prune + fine-tune at each level —
+the paper's observation is that NMT tolerates moderate sparsity but drops
+quickly past ~60 % (it "prefers irregular sparsities").
+
+Run:  python examples/nmt_pruning.py
+"""
+
+from repro.analysis import ascii_series, format_table
+from repro.experiments import gemm_speedup, prepare_task, prune_and_evaluate
+
+SPARSITIES = (0.25, 0.5, 0.6, 0.75)
+
+print("training dense MiniNMT (this is the slowest example, ~1 min) ...")
+bundle = prepare_task("nmt", train_samples=768)
+print(f"dense BLEU: {bundle.baseline_metric:.1f}\n")
+
+rows = []
+bleus = []
+for s in SPARSITIES:
+    bleu = prune_and_evaluate(bundle, "tw", s, granularity=16)
+    speedup = gemm_speedup("nmt", "tw", s, granularity=128)
+    rows.append([f"{s:.0%}", bleu, bundle.baseline_metric - bleu, speedup])
+    bleus.append(bleu)
+
+print(format_table(["sparsity", "BLEU", "drop", "sim speedup (x)"], rows, precision=2))
+print()
+print(ascii_series(list(SPARSITIES), bleus, label="BLEU vs sparsity"))
+print(
+    "\nExpected shape (paper Fig. 12d): BLEU holds to ~50-60% sparsity,"
+    "\nthen falls off; simulated speedup grows with sparsity throughout."
+)

@@ -1,0 +1,99 @@
+"""Sparsity-distribution analyses (Figs. 5, 6 and 13).
+
+- Fig. 5 plots the per-matrix sparsity of an EW-pruned BERT at 75 % — the
+  *uneven distribution* TW exploits and VW cannot.
+- Fig. 6 plots the cumulative distribution of per-unit zero fractions for
+  different pruning-unit shapes overlaid on an EW mask: TW's 1×G row units
+  capture more fully-zero units than BW's square blocks at equal element
+  count, which is the irregularity argument EW > TW > BW.
+- Fig. 13 shows the surviving-weight heat-maps of the four patterns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "per_matrix_sparsity",
+    "unit_zero_fractions",
+    "zero_fraction_cdf",
+    "mask_heatmap",
+]
+
+
+def per_matrix_sparsity(masks: Sequence[np.ndarray]) -> np.ndarray:
+    """Sparsity of each mask (Fig. 5's y-axis, one value per matrix)."""
+    out = []
+    for m in masks:
+        m = np.asarray(m, dtype=bool)
+        out.append(1.0 - float(m.mean()) if m.size else 0.0)
+    return np.array(out)
+
+
+def unit_zero_fractions(
+    mask: np.ndarray, unit_shape: tuple[int, int]
+) -> np.ndarray:
+    """Zero fraction of every ``unit_shape`` tile of a keep-mask.
+
+    Units tile the matrix without overlap; ragged edge units are included
+    with their true element counts.  ``unit_shape=(1, G)`` gives TW's row
+    units, ``(b, b)`` gives BW blocks — the Fig. 6 comparands.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError(f"expected 2-D mask, got ndim={mask.ndim}")
+    ur, uc = unit_shape
+    if ur <= 0 or uc <= 0:
+        raise ValueError(f"unit shape must be positive, got {unit_shape}")
+    k, n = mask.shape
+    fractions = []
+    for r0 in range(0, k, ur):
+        for c0 in range(0, n, uc):
+            unit = mask[r0 : r0 + ur, c0 : c0 + uc]
+            fractions.append(1.0 - float(unit.mean()))
+    return np.array(fractions)
+
+
+def zero_fraction_cdf(
+    fractions: np.ndarray, grid: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative probability of per-unit zero fraction (Fig. 6 curves).
+
+    Returns ``(x, cdf)`` where ``cdf[i] = P(zero fraction ≤ x[i])``.
+    A pattern whose CDF is *lower* at high x has more nearly-empty units —
+    more prunable structure at equal sparsity.
+    """
+    fractions = np.asarray(fractions, dtype=np.float64)
+    if grid is None:
+        grid = np.linspace(0.0, 1.0, 101)
+    if fractions.size == 0:
+        return grid, np.ones_like(grid)
+    sorted_f = np.sort(fractions)
+    cdf = np.searchsorted(sorted_f, grid, side="right") / fractions.size
+    return grid, cdf
+
+
+def mask_heatmap(mask: np.ndarray, grid: int = 16) -> np.ndarray:
+    """Downsample a keep-mask to a ``grid×grid`` density map (Fig. 13).
+
+    Each cell holds the surviving-weight density of its region — enough to
+    *see* the pattern structure (EW speckle, VW uniformity, BW blocks, TW
+    stripes) in text output without a plotting stack.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.ndim != 2:
+        raise ValueError(f"expected 2-D mask, got ndim={mask.ndim}")
+    if grid <= 0:
+        raise ValueError(f"grid must be positive, got {grid}")
+    k, n = mask.shape
+    out = np.zeros((min(grid, k), min(grid, n)))
+    gr, gc = out.shape
+    row_edges = np.linspace(0, k, gr + 1).astype(int)
+    col_edges = np.linspace(0, n, gc + 1).astype(int)
+    for i in range(gr):
+        for j in range(gc):
+            cell = mask[row_edges[i] : row_edges[i + 1], col_edges[j] : col_edges[j + 1]]
+            out[i, j] = cell.mean() if cell.size else 0.0
+    return out

@@ -1,0 +1,48 @@
+"""Accuracy-latency Pareto frontiers (Fig. 14).
+
+The paper's summary claim is that *only TW extends the Pareto frontier*:
+every other pattern is dominated by the dense model (slower **and** less
+accurate).  These helpers compute frontiers over (accuracy, speedup)
+points, both to be maximised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParetoPoint", "pareto_frontier", "dominates"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration's outcome: accuracy (or BLEU) and latency speedup."""
+
+    accuracy: float
+    speedup: float
+    label: str = ""
+
+    def as_dict(self) -> dict[str, float | str]:
+        """Serializable record for benchmark JSON output."""
+        return {"accuracy": self.accuracy, "speedup": self.speedup, "label": self.label}
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True if ``a`` is at least as good as ``b`` on both axes and strictly
+    better on one."""
+    ge = a.accuracy >= b.accuracy and a.speedup >= b.speedup
+    gt = a.accuracy > b.accuracy or a.speedup > b.speedup
+    return ge and gt
+
+
+def pareto_frontier(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by accuracy descending.
+
+    Duplicate points are kept once.
+    """
+    frontier: list[ParetoPoint] = []
+    for p in points:
+        if any(dominates(q, p) for q in points):
+            continue
+        if p not in frontier:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: (-p.accuracy, -p.speedup))

@@ -1,0 +1,199 @@
+"""Command-line interface: prune weights, price models, run sweeps.
+
+Usage (``python -m repro <command> ...``):
+
+- ``prune``   — tile-wise-prune a weight matrix (``.npy``) and save the
+  compacted TW format (``.npz``) plus sparsity statistics;
+- ``latency`` — price a (model, pattern, sparsity) combination on the
+  simulated V100, GEMM-only and end-to-end;
+- ``sweep``   — print a speedup-vs-sparsity table for one pattern;
+- ``info``    — show the device spec and calibration constants in use.
+
+Every command prints human-readable tables and exits non-zero on invalid
+input, so the CLI is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tile-wise sparsity (SC 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_prune = sub.add_parser("prune", help="TW-prune a .npy weight matrix")
+    p_prune.add_argument("weight", help="path to a 2-D .npy weight matrix")
+    p_prune.add_argument("--sparsity", type=float, default=0.75)
+    p_prune.add_argument("--granularity", "-G", type=int, default=128)
+    p_prune.add_argument("--out", help="write the compacted TW matrix here (.npz)")
+    p_prune.add_argument(
+        "--split", type=float, default=0.5,
+        help="column/row budget split (0=rows only, 1=columns only)",
+    )
+
+    p_lat = sub.add_parser("latency", help="price a model on the simulated V100")
+    p_lat.add_argument("model", choices=["bert", "vgg", "nmt"])
+    p_lat.add_argument("--pattern", default="tw",
+                       choices=["dense", "tw", "tew", "ew", "vw", "bw"])
+    p_lat.add_argument("--sparsity", type=float, default=0.75)
+    p_lat.add_argument("--granularity", "-G", type=int, default=128)
+    p_lat.add_argument("--engine", default="tensor_core",
+                       choices=["tensor_core", "cuda_core"])
+
+    p_sweep = sub.add_parser("sweep", help="speedup vs sparsity table")
+    p_sweep.add_argument("model", choices=["bert", "vgg", "nmt"])
+    p_sweep.add_argument("--pattern", default="tw",
+                         choices=["tw", "tew", "ew", "vw", "bw"])
+    p_sweep.add_argument("--granularity", "-G", type=int, default=128)
+    p_sweep.add_argument("--engine", default="tensor_core",
+                         choices=["tensor_core", "cuda_core"])
+    p_sweep.add_argument(
+        "--sparsities", type=float, nargs="+",
+        default=[0.0, 0.25, 0.5, 0.75, 0.9, 0.99],
+    )
+
+    sub.add_parser("info", help="device spec and calibration constants")
+    return parser
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.core import TWPruneConfig, tw_prune_step
+    from repro.core.importance import magnitude_score
+    from repro.formats import TiledTWMatrix
+    from repro.formats.io import save_tiled
+
+    try:
+        weight = np.load(args.weight)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load weight matrix: {exc}", file=sys.stderr)
+        return 2
+    if weight.ndim != 2:
+        print(f"error: expected a 2-D matrix, got shape {weight.shape}",
+              file=sys.stderr)
+        return 2
+    if not (0.0 <= args.sparsity < 1.0):
+        print("error: --sparsity must be in [0, 1)", file=sys.stderr)
+        return 2
+    cfg = TWPruneConfig(granularity=args.granularity, col_row_split=args.split)
+    step = tw_prune_step([magnitude_score(weight)], args.sparsity, cfg)
+    tw = TiledTWMatrix.from_masks(
+        weight, args.granularity, step.col_keeps[0], step.row_masks[0]
+    )
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["shape", f"{weight.shape[0]}x{weight.shape[1]}"],
+            ["target sparsity", args.sparsity],
+            ["achieved sparsity", step.achieved_sparsity],
+            ["tiles", tw.n_tiles],
+            ["kept columns", tw.kept_columns],
+            ["load imbalance", tw.load_imbalance()],
+            ["memory (fp16+masks)", f"{tw.memory_bytes()} B"],
+        ],
+    ))
+    if args.out:
+        save_tiled(tw, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.experiments import gemm_speedup
+    from repro.experiments.latency import end_to_end_report
+    from repro.runtime import EngineConfig
+
+    if not (0.0 <= args.sparsity <= 1.0):
+        print("error: --sparsity must be in [0, 1]", file=sys.stderr)
+        return 2
+    speedup = gemm_speedup(
+        args.model, args.pattern, args.sparsity,
+        engine=args.engine, granularity=args.granularity,
+    )
+    rep = end_to_end_report(
+        args.model, args.pattern, args.sparsity,
+        EngineConfig(engine=args.engine), granularity=args.granularity,
+    )
+    fr = rep.fractions()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["model", args.model],
+            ["pattern", args.pattern],
+            ["sparsity", args.sparsity],
+            ["engine", args.engine],
+            ["GEMM-only speedup", f"{speedup:.2f}x"],
+            ["end-to-end latency", f"{rep.total_us / 1e3:.3f} ms"],
+            ["  gemm fraction", fr["gemm"]],
+            ["  transpose fraction", fr["transpose"]],
+            ["  non-GEMM fraction", fr["others"]],
+        ],
+    ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.experiments import gemm_speedup
+
+    rows = []
+    for s in args.sparsities:
+        if not (0.0 <= s <= 1.0):
+            print(f"error: sparsity {s} out of [0, 1]", file=sys.stderr)
+            return 2
+        rows.append([
+            f"{s:.0%}",
+            gemm_speedup(args.model, args.pattern, s,
+                         engine=args.engine, granularity=args.granularity),
+        ])
+    print(format_table(["sparsity", "speedup (x)"], rows))
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.analysis import format_table
+    from repro.gpu.calibration import DEFAULT_CALIBRATION
+    from repro.gpu.device import V100
+
+    print("device:")
+    print(format_table(
+        ["field", "value"],
+        [[f.name, getattr(V100, f.name)] for f in dataclasses.fields(V100)],
+    ))
+    print("\ncalibration:")
+    print(format_table(
+        ["constant", "value"],
+        [[f.name, getattr(DEFAULT_CALIBRATION, f.name)]
+         for f in dataclasses.fields(DEFAULT_CALIBRATION)],
+    ))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "prune": _cmd_prune,
+        "latency": _cmd_latency,
+        "sweep": _cmd_sweep,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

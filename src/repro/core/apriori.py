@@ -1,0 +1,108 @@
+"""Apriori tuning (Algorithm 2) — EW-informed column-score priors.
+
+The paper observes strong *locality* in element-wise pruning results: at a
+75% target, more than 10% of columns end up completely pruned by EW.  Since
+EW is the accuracy-optimal pattern, its per-column sparsity is a cheap,
+high-quality prior for which columns TW should remove.  Algorithm 2 turns
+that prior into score overrides:
+
+- the ``top_n`` columns with the *highest* EW sparsity get score **0**
+  → pruned with highest priority;
+- the ``last_n`` columns with the *lowest* EW sparsity get score **+inf**
+  → never pruned.
+
+Everything in between keeps its collective importance score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AprioriConfig", "unit_ew_sparsity", "apriori_adjust"]
+
+
+@dataclass(frozen=True)
+class AprioriConfig:
+    """Apriori-tuning strengths.
+
+    ``top_n`` / ``last_n`` may be given as fractions of the unit count
+    (floats in ``[0, 1]``) or absolute counts (ints).  The paper motivates
+    ``top_n ≈ 10%`` from the fraction of columns EW prunes completely.
+    """
+
+    top_n: float | int = 0.10
+    last_n: float | int = 0.10
+
+    def __post_init__(self) -> None:
+        for name in ("top_n", "last_n"):
+            v = getattr(self, name)
+            if isinstance(v, float) and not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} fraction must be in [0, 1], got {v}")
+            if isinstance(v, int) and v < 0:
+                raise ValueError(f"{name} count must be non-negative, got {v}")
+
+    def resolve(self, n_units: int) -> tuple[int, int]:
+        """Convert fractional strengths to unit counts for ``n_units`` units."""
+        def to_count(v: float | int) -> int:
+            if isinstance(v, float):
+                return int(round(v * n_units))
+            return min(v, n_units)
+
+        top = to_count(self.top_n)
+        last = to_count(self.last_n)
+        if top + last > n_units:  # never let the two sets overlap
+            last = n_units - top
+        return top, last
+
+
+def unit_ew_sparsity(ew_mask: np.ndarray) -> np.ndarray:
+    """Per-column sparsity of an EW keep-mask (``float64[N]``).
+
+    This is Algorithm 2's ``tileSparsity = EW[S]`` — the tile-level sparsity
+    distribution extracted from the EW reference pruned at the target
+    sparsity.
+    """
+    ew_mask = np.asarray(ew_mask, dtype=bool)
+    if ew_mask.ndim != 2:
+        raise ValueError(f"expected 2-D mask, got ndim={ew_mask.ndim}")
+    if ew_mask.shape[0] == 0:
+        return np.zeros(ew_mask.shape[1], dtype=np.float64)
+    return 1.0 - ew_mask.mean(axis=0)
+
+
+def apriori_adjust(
+    column_scores: np.ndarray,
+    ew_sparsity: np.ndarray,
+    config: AprioriConfig,
+) -> np.ndarray:
+    """Apply Algorithm 2 to one layer's column scores.
+
+    Parameters
+    ----------
+    column_scores:
+        Collective importance score per column (``float64[N]``).
+    ew_sparsity:
+        Per-column EW sparsity from :func:`unit_ew_sparsity`.
+    config:
+        Tuning strengths.
+
+    Returns a new score array; the input is not modified.
+    """
+    column_scores = np.asarray(column_scores, dtype=np.float64)
+    ew_sparsity = np.asarray(ew_sparsity, dtype=np.float64)
+    if column_scores.shape != ew_sparsity.shape:
+        raise ValueError(
+            f"scores shape {column_scores.shape} != ew sparsity shape {ew_sparsity.shape}"
+        )
+    n = column_scores.shape[0]
+    top, last = config.resolve(n)
+    out = column_scores.copy()
+    # ties broken by index for determinism (stable sort)
+    by_sparsity_desc = np.argsort(-ew_sparsity, kind="stable")
+    if top > 0:
+        out[by_sparsity_desc[:top]] = 0.0  # prune with highest priority
+    if last > 0:
+        out[by_sparsity_desc[n - last :]] = np.inf  # protected
+    return out

@@ -1,0 +1,178 @@
+"""Element importance scores and their aggregation to pruning units.
+
+The paper (§V, Eq. 1–3) scores a weight ``w`` by the loss increase incurred
+when it is removed:
+
+.. math::
+
+    \\Delta L(w) = \\sqrt{(L(w{=}w_i) - L(w{=}0))^2}
+    \\approx \\sqrt{\\left(\\frac{\\partial L(w_i)}{\\partial w} \\, w_i\\right)^2}
+    = \\left|\\frac{\\partial L}{\\partial w} \\, w_i\\right|
+
+(first-order Taylor expansion around the trained value, following
+Molchanov et al.).  Both the weight and its gradient already exist during
+training, so the score is free to compute.  The simpler magnitude score
+``|w|`` (Han et al.) is provided as a baseline.
+
+Unit aggregation: TW prunes *columns* (``K×1`` units) and *tile rows*
+(``1×G`` units, paper Alg. 1 lines 4/13), scored by the collective importance
+of their member elements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ImportanceConfig",
+    "magnitude_score",
+    "taylor_score",
+    "exact_loss_delta",
+    "normalize_scores",
+    "column_unit_scores",
+    "row_unit_scores",
+    "score_matrix",
+]
+
+
+@dataclass(frozen=True)
+class ImportanceConfig:
+    """How element scores are computed and pooled into units.
+
+    Attributes
+    ----------
+    method:
+        ``"taylor"`` (paper default, needs gradients) or ``"magnitude"``.
+    reduction:
+        How a unit pools its member element scores: ``"sum"`` (paper's
+        "collective importance"), ``"mean"``, or ``"l2"``.
+    normalize:
+        Cross-layer normalisation before global ranking: ``"none"`` (paper
+        default — Taylor scores are loss deltas and already commensurable),
+        ``"mean"`` (divide by per-matrix mean; recommended for magnitude
+        scores), or ``"l2"``.
+    """
+
+    method: str = "taylor"
+    reduction: str = "sum"
+    normalize: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.method not in ("taylor", "magnitude"):
+            raise ValueError(f"unknown importance method {self.method!r}")
+        if self.reduction not in ("sum", "mean", "l2"):
+            raise ValueError(f"unknown reduction {self.reduction!r}")
+        if self.normalize not in ("none", "mean", "l2"):
+            raise ValueError(f"unknown normalization {self.normalize!r}")
+
+
+def magnitude_score(weights: np.ndarray) -> np.ndarray:
+    """Per-element magnitude importance ``|w|`` (Han et al. 2015)."""
+    return np.abs(np.asarray(weights, dtype=np.float64))
+
+
+def taylor_score(weights: np.ndarray, gradients: np.ndarray) -> np.ndarray:
+    """Per-element first-order Taylor importance ``|w · ∂L/∂w|`` (Eq. 3)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    gradients = np.asarray(gradients, dtype=np.float64)
+    if weights.shape != gradients.shape:
+        raise ValueError(
+            f"weights shape {weights.shape} != gradients shape {gradients.shape}"
+        )
+    return np.abs(weights * gradients)
+
+
+def exact_loss_delta(
+    loss_fn: Callable[[np.ndarray], float], weights: np.ndarray
+) -> np.ndarray:
+    """Exact importance of Eq. 1: ``|L(w=w_i) − L(w=0)|`` per element.
+
+    Evaluates the loss once per parameter, so it is only tractable for tiny
+    matrices; used in tests to verify that :func:`taylor_score` is a faithful
+    first-order approximation (paper §V "the exact computation is expensive
+    because M parameters require evaluating M versions of the network").
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    base = float(loss_fn(weights))
+    out = np.empty(weights.shape, dtype=np.float64)
+    it = np.nditer(weights, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        saved = weights[idx]
+        weights[idx] = 0.0
+        out[idx] = abs(float(loss_fn(weights)) - base)
+        weights[idx] = saved
+    return out
+
+
+def score_matrix(
+    weights: np.ndarray,
+    gradients: np.ndarray | None,
+    config: ImportanceConfig,
+) -> np.ndarray:
+    """Element score matrix for one layer under ``config``."""
+    if config.method == "taylor":
+        if gradients is None:
+            raise ValueError("taylor importance requires gradients")
+        return taylor_score(weights, gradients)
+    return magnitude_score(weights)
+
+
+def normalize_scores(scores: np.ndarray, mode: str) -> np.ndarray:
+    """Normalise a score matrix for cross-layer comparability."""
+    if mode == "none":
+        return scores
+    if mode == "mean":
+        denom = scores.mean()
+    elif mode == "l2":
+        denom = np.sqrt(np.mean(scores**2))
+    else:
+        raise ValueError(f"unknown normalization {mode!r}")
+    return scores / denom if denom > 0 else scores
+
+
+def _reduce(values: np.ndarray, axis: int, reduction: str) -> np.ndarray:
+    if reduction == "sum":
+        return values.sum(axis=axis)
+    if reduction == "mean":
+        return values.mean(axis=axis)
+    if reduction == "l2":
+        return np.sqrt((values**2).sum(axis=axis))
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def column_unit_scores(scores: np.ndarray, reduction: str = "sum") -> np.ndarray:
+    """Score each ``K×1`` column unit of one matrix (Alg. 1 line 4–5).
+
+    Returns ``float64[N]``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected 2-D score matrix, got ndim={scores.ndim}")
+    return _reduce(scores, axis=0, reduction=reduction)
+
+
+def row_unit_scores(
+    scores: np.ndarray,
+    column_groups: Sequence[np.ndarray],
+    reduction: str = "sum",
+) -> list[np.ndarray]:
+    """Score each ``1×G`` row unit of each reorganised tile (Alg. 1 line 13–14).
+
+    ``column_groups[t]`` holds the (surviving) column indices of tile ``t``;
+    the row unit ``(t, r)`` pools ``scores[r, column_groups[t]]``.  Returns
+    one ``float64[K]`` array per tile.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected 2-D score matrix, got ndim={scores.ndim}")
+    out = []
+    for cols in column_groups:
+        if cols.size == 0:
+            out.append(np.zeros(scores.shape[0], dtype=np.float64))
+        else:
+            out.append(_reduce(scores[:, cols], axis=1, reduction=reduction))
+    return out

@@ -1,0 +1,204 @@
+"""Algorithm 1 — the multi-stage tile-wise pruning driver.
+
+The driver repeatedly (a) recomputes importance scores on the live model,
+(b) runs one global TW step (:func:`repro.core.tile_sparsity.tw_prune_step`)
+at the stage's sparsity target, (c) applies the resulting masks, and
+(d) fine-tunes to recover accuracy, until the final target ``S`` is reached.
+Optionally, an EW reference pruned at ``S`` supplies the apriori prior of
+Algorithm 2 for every stage's column pruning.
+
+The driver is decoupled from any specific model framework through the small
+:class:`PrunableModel` protocol; :class:`ArrayModel` adapts raw NumPy arrays
+(no fine-tuning) and :class:`repro.nn.trainer.TrainedModelAdapter` adapts
+real trained networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.apriori import AprioriConfig, apriori_adjust, unit_ew_sparsity
+from repro.core.importance import (
+    ImportanceConfig,
+    column_unit_scores,
+    normalize_scores,
+    score_matrix,
+)
+from repro.core.masks import global_topk_keep_masks, overall_sparsity
+from repro.core.schedule import GradualSchedule
+from repro.core.tile_sparsity import TWPruneConfig, TWStepResult, tw_prune_step
+
+__all__ = ["PrunableModel", "ArrayModel", "StageRecord", "PruningResult", "TWPruner"]
+
+
+@runtime_checkable
+class PrunableModel(Protocol):
+    """What the pruner needs from a model."""
+
+    def weight_matrices(self) -> list[np.ndarray]:
+        """Current dense weight matrices of the prunable layers."""
+        ...
+
+    def gradient_matrices(self) -> list[np.ndarray] | None:
+        """Loss gradients w.r.t. each weight matrix (for Taylor scores), or
+        ``None`` when unavailable (forces magnitude scoring)."""
+        ...
+
+    def apply_masks(self, masks: list[np.ndarray]) -> None:
+        """Zero pruned weights and keep them zero through later training."""
+        ...
+
+    def fine_tune(self) -> None:
+        """Recover accuracy after a pruning stage (may be a no-op)."""
+        ...
+
+
+class ArrayModel:
+    """Adapter exposing raw arrays as a :class:`PrunableModel`.
+
+    Useful for pruning standalone matrices (kernels, benchmarks) and for
+    testing the driver without a training loop.  Optional static gradient
+    proxies enable Taylor scoring.
+    """
+
+    def __init__(
+        self,
+        weights: list[np.ndarray],
+        gradients: list[np.ndarray] | None = None,
+    ) -> None:
+        self._weights = [np.array(w, dtype=np.float64) for w in weights]
+        if gradients is not None and len(gradients) != len(weights):
+            raise ValueError("gradients must match weights in count")
+        self._gradients = (
+            [np.array(g, dtype=np.float64) for g in gradients] if gradients else None
+        )
+        self.masks: list[np.ndarray] = [np.ones(w.shape, dtype=bool) for w in self._weights]
+
+    def weight_matrices(self) -> list[np.ndarray]:
+        return self._weights
+
+    def gradient_matrices(self) -> list[np.ndarray] | None:
+        return self._gradients
+
+    def apply_masks(self, masks: list[np.ndarray]) -> None:
+        if len(masks) != len(self._weights):
+            raise ValueError("mask count mismatch")
+        for w, m in zip(self._weights, masks):
+            if m.shape != w.shape:
+                raise ValueError(f"mask shape {m.shape} != weight shape {w.shape}")
+            w *= m
+        self.masks = [np.asarray(m, dtype=bool).copy() for m in masks]
+
+    def fine_tune(self) -> None:  # raw arrays cannot be fine-tuned
+        return None
+
+
+@dataclass
+class StageRecord:
+    """Bookkeeping for one prune+fine-tune stage."""
+
+    target_sparsity: float
+    achieved_sparsity: float
+    per_matrix_sparsity: list[float]
+
+
+@dataclass
+class PruningResult:
+    """Final output of the multi-stage driver."""
+
+    masks: list[np.ndarray]
+    step: TWStepResult
+    history: list[StageRecord] = field(default_factory=list)
+
+    @property
+    def achieved_sparsity(self) -> float:
+        """Overall sparsity of the final masks."""
+        return overall_sparsity(self.masks)
+
+
+class TWPruner:
+    """Multi-stage global tile-wise pruner (paper Algorithm 1).
+
+    Parameters
+    ----------
+    config:
+        TW step hyper-parameters (granularity ``G``, column/row split, …).
+    schedule:
+        Stage-by-stage sparsity targets (``GraduallyIncrease``).
+    importance:
+        Scoring configuration; defaults to the paper's first-order Taylor
+        method with sum pooling.
+    apriori:
+        If given, an EW reference at the final target is computed once from
+        the initial scores and injected into every stage's column pruning
+        (Algorithm 2).
+    """
+
+    def __init__(
+        self,
+        config: TWPruneConfig,
+        schedule: GradualSchedule,
+        importance: ImportanceConfig | None = None,
+        apriori: AprioriConfig | None = None,
+    ) -> None:
+        self.config = config
+        self.schedule = schedule
+        self.importance = importance or ImportanceConfig()
+        self.apriori = apriori
+
+    # ------------------------------------------------------------------ #
+    def _scores(self, model: PrunableModel) -> list[np.ndarray]:
+        weights = model.weight_matrices()
+        grads = model.gradient_matrices()
+        cfg = self.importance
+        if cfg.method == "taylor" and grads is None:
+            # fall back rather than fail: magnitude needs no gradients
+            cfg = ImportanceConfig(
+                method="magnitude", reduction=cfg.reduction, normalize=cfg.normalize
+            )
+        return [
+            score_matrix(w, grads[i] if grads else None, cfg)
+            for i, w in enumerate(weights)
+        ]
+
+    def _ew_reference(self, model: PrunableModel) -> list[np.ndarray]:
+        """EW keep-masks at the final target — Algorithm 2's prior."""
+        scores = self._scores(model)
+        return global_topk_keep_masks(scores, self.schedule.target)
+
+    def prune(self, model: PrunableModel) -> PruningResult:
+        """Run the full multi-stage pruning loop on ``model``."""
+        if not isinstance(model, PrunableModel):
+            raise TypeError("model does not satisfy the PrunableModel protocol")
+        ew_sparsity_per_layer: list[np.ndarray] | None = None
+        if self.apriori is not None:
+            ew_masks = self._ew_reference(model)
+            ew_sparsity_per_layer = [unit_ew_sparsity(m) for m in ew_masks]
+
+        history: list[StageRecord] = []
+        step: TWStepResult | None = None
+        for stage_target in self.schedule.stages():
+            scores = self._scores(model)
+            adjust = None
+            if ew_sparsity_per_layer is not None:
+                adjust = []
+                for s, ew_sp in zip(scores, ew_sparsity_per_layer):
+                    cs = column_unit_scores(
+                        normalize_scores(s, self.config.normalize), self.config.reduction
+                    )
+                    adjust.append(apriori_adjust(cs, ew_sp, self.apriori))
+            step = tw_prune_step(scores, stage_target, self.config, column_score_adjust=adjust)
+            model.apply_masks(step.masks)
+            model.fine_tune()
+            history.append(
+                StageRecord(
+                    target_sparsity=stage_target,
+                    achieved_sparsity=step.achieved_sparsity,
+                    per_matrix_sparsity=step.per_matrix_sparsity(),
+                )
+            )
+        assert step is not None, "schedule produced no stages"
+        return PruningResult(masks=step.masks, step=step, history=history)

@@ -1,0 +1,296 @@
+"""One global tile-wise pruning step (the body of Algorithm 1's stage loop).
+
+Given per-layer element importance scores and a stage sparsity target, this
+module performs the paper's two-phase pruning:
+
+1. **Column pruning** (Alg. 1 lines 4–12): every ``K×1`` column of every
+   weight matrix is a pruning unit.  Units are scored by collective
+   importance, optionally re-prioritised by apriori tuning (Alg. 2), ranked
+   *globally across all layers*, and the lowest-scored are pruned.
+2. **Tile reorganisation + row pruning** (lines 13–20): surviving columns are
+   regrouped into tiles of ``G`` (paper §IV-A "Pruning Order"), and every
+   ``1×G`` tile row becomes a pruning unit, again ranked globally.
+
+The stage sparsity ``s`` is split between the two phases so that the kept
+fractions multiply out: ``(1-s_col)·(1-s_row) = 1-s``.  The paper leaves the
+split implicit; we expose it as ``col_row_split`` (0 = rows only, 1 = columns
+only, 0.5 = symmetric default) and treat it as a documented design choice
+(see DESIGN.md §6 and the ablation benchmark).
+
+Global ranking is what lets TW adapt to the uneven cross-layer sparsity
+distribution (paper Fig. 5) that vector-wise pruning cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.importance import (
+    column_unit_scores,
+    normalize_scores,
+    row_unit_scores,
+)
+from repro.core.masks import tw_mask_from_tiles
+from repro.formats.tiled import TiledTWMatrix
+
+__all__ = ["TWPruneConfig", "TWStepResult", "split_stage_sparsity", "tw_prune_step"]
+
+
+@dataclass(frozen=True)
+class TWPruneConfig:
+    """Hyper-parameters of the TW pruning step.
+
+    Attributes
+    ----------
+    granularity:
+        Tile width ``G`` — the paper's central accuracy/latency knob
+        (Fig. 9; G=128 is the recommended setting).
+    col_row_split:
+        Fraction of the stage's log-survival assigned to column pruning;
+        ``(1-s_col) = (1-s)^split``.  0.5 splits symmetrically.
+    reorganize:
+        Regroup surviving columns into ``G``-wide tiles before row pruning
+        (paper default).  ``False`` keeps original panel boundaries
+        (ablation).
+    reduction:
+        Unit score pooling: ``"sum"`` (paper's collective importance),
+        ``"mean"``, or ``"l2"``.
+    normalize:
+        Cross-layer score normalisation (see ImportanceConfig).
+    min_keep_cols:
+        Never prune a matrix below this many surviving columns.
+    min_keep_rows:
+        Never prune a tile below this many surviving rows.
+    budget:
+        ``"elements"`` — greedy element-weighted selection that lands on the
+        target overall sparsity (default); ``"units"`` — percentile-of-units
+        semantics exactly as written in Alg. 1.
+    """
+
+    granularity: int = 128
+    col_row_split: float = 0.5
+    reorganize: bool = True
+    reduction: str = "sum"
+    normalize: str = "none"
+    min_keep_cols: int = 1
+    min_keep_rows: int = 1
+    budget: str = "elements"
+
+    def __post_init__(self) -> None:
+        if self.granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {self.granularity}")
+        if not (0.0 <= self.col_row_split <= 1.0):
+            raise ValueError(f"col_row_split must be in [0, 1], got {self.col_row_split}")
+        if self.min_keep_cols < 0 or self.min_keep_rows < 0:
+            raise ValueError("minimum keep counts must be non-negative")
+        if self.budget not in ("elements", "units"):
+            raise ValueError(f"unknown budget mode {self.budget!r}")
+
+
+@dataclass
+class TWStepResult:
+    """Output of one TW pruning step over a list of weight matrices."""
+
+    col_keeps: list[np.ndarray] = field(default_factory=list)
+    column_groups: list[list[np.ndarray]] = field(default_factory=list)
+    row_masks: list[list[np.ndarray]] = field(default_factory=list)
+    masks: list[np.ndarray] = field(default_factory=list)
+    achieved_sparsity: float = 0.0
+
+    def per_matrix_sparsity(self) -> list[float]:
+        """Sparsity of each matrix — the uneven distribution of Fig. 5."""
+        return [1.0 - float(m.mean()) for m in self.masks]
+
+
+def split_stage_sparsity(stage_sparsity: float, col_row_split: float) -> tuple[float, float]:
+    """Split an overall sparsity target between column and row pruning.
+
+    Returns ``(s_col, s_row)`` with ``(1-s_col)·(1-s_row) = 1-stage_sparsity``.
+    """
+    if not (0.0 <= stage_sparsity < 1.0):
+        raise ValueError(f"stage sparsity must be in [0, 1), got {stage_sparsity}")
+    keep = 1.0 - stage_sparsity
+    col_keep = keep**col_row_split
+    row_keep = keep / col_keep if col_keep > 0 else 0.0
+    return 1.0 - col_keep, 1.0 - row_keep
+
+
+def _global_select(
+    scores: np.ndarray,
+    weights: np.ndarray,
+    keep_frac: float,
+    forced: np.ndarray,
+    budget: str,
+) -> np.ndarray:
+    """Select which units survive, globally across all layers.
+
+    Parameters
+    ----------
+    scores:
+        Unit importance scores (higher = more important), any shape-(n,) mix
+        of layers.
+    weights:
+        Element count of each unit (for ``budget="elements"``).
+    keep_frac:
+        Target fraction to keep (of elements or of units per ``budget``).
+    forced:
+        Units that must survive regardless of score (per-layer minimums).
+    budget:
+        ``"elements"`` or ``"units"``.
+
+    Returns a boolean keep array.  Greedy element-weighted selection keeps
+    the highest-scored units until the element budget is met; forced units
+    are charged against the budget first.
+    """
+    n = scores.shape[0]
+    keep = forced.copy()
+    if n == 0:
+        return keep
+    order = np.lexsort((np.arange(n), -scores))  # score desc, index asc for ties
+    if budget == "units":
+        target_units = int(round(keep_frac * n))
+        remaining = target_units - int(forced.sum())
+        for idx in order:
+            if remaining <= 0:
+                break
+            if not keep[idx]:
+                keep[idx] = True
+                remaining -= 1
+        return keep
+    target_elems = keep_frac * float(weights.sum())
+    used = float(weights[forced].sum())
+    for idx in order:
+        if used >= target_elems:
+            break
+        if not keep[idx]:
+            keep[idx] = True
+            used += float(weights[idx])
+    return keep
+
+
+def tw_prune_step(
+    score_matrices: Sequence[np.ndarray],
+    stage_sparsity: float,
+    config: TWPruneConfig,
+    *,
+    column_score_adjust: Sequence[np.ndarray] | None = None,
+) -> TWStepResult:
+    """Run one global TW pruning step (Alg. 1 lines 4–20).
+
+    Parameters
+    ----------
+    score_matrices:
+        One element-importance matrix per prunable layer (``K_l × N_l``).
+        Already-pruned elements should carry zero score (which they do
+        naturally: masked weights are zero, so both magnitude and Taylor
+        scores vanish) — this yields stage-to-stage monotonicity.
+    stage_sparsity:
+        Overall sparsity target for this stage.
+    config:
+        See :class:`TWPruneConfig`.
+    column_score_adjust:
+        Optional apriori-tuned replacement column scores per layer (from
+        :func:`repro.core.apriori.apriori_adjust`); same shapes as the
+        layers' column counts.
+
+    Returns
+    -------
+    TWStepResult with per-layer column keeps, reorganised tile groups, row
+    masks, full element masks, and the achieved overall sparsity.
+    """
+    mats = [np.asarray(s, dtype=np.float64) for s in score_matrices]
+    for i, m in enumerate(mats):
+        if m.ndim != 2:
+            raise ValueError(f"score matrix {i} must be 2-D, got ndim={m.ndim}")
+    s_col, s_row = split_stage_sparsity(stage_sparsity, config.col_row_split)
+
+    # ---------------- phase 1: global column pruning ---------------- #
+    col_scores: list[np.ndarray] = []
+    for i, m in enumerate(mats):
+        cs = column_unit_scores(normalize_scores(m, config.normalize), config.reduction)
+        if column_score_adjust is not None:
+            adj = np.asarray(column_score_adjust[i], dtype=np.float64)
+            if adj.shape != cs.shape:
+                raise ValueError(
+                    f"layer {i}: adjusted column scores shape {adj.shape} != {cs.shape}"
+                )
+            cs = adj
+        col_scores.append(cs)
+
+    all_scores = np.concatenate(col_scores) if col_scores else np.zeros(0)
+    col_elems = np.concatenate(
+        [np.full(m.shape[1], m.shape[0], dtype=np.float64) for m in mats]
+    ) if mats else np.zeros(0)
+    forced = np.zeros(all_scores.shape[0], dtype=bool)
+    offset = 0
+    for i, cs in enumerate(col_scores):
+        n_force = min(config.min_keep_cols, cs.shape[0])
+        if n_force > 0:
+            top = np.argsort(-cs, kind="stable")[:n_force]
+            forced[offset + top] = True
+        offset += cs.shape[0]
+    col_keep_flat = _global_select(all_scores, col_elems, 1.0 - s_col, forced, config.budget)
+
+    col_keeps: list[np.ndarray] = []
+    offset = 0
+    for m in mats:
+        col_keeps.append(col_keep_flat[offset : offset + m.shape[1]])
+        offset += m.shape[1]
+
+    # ------- phase 2: reorganise + global tile-row pruning ---------- #
+    groups_per_layer: list[list[np.ndarray]] = [
+        TiledTWMatrix.column_groups(ck, config.granularity, reorganize=config.reorganize)
+        for ck in col_keeps
+    ]
+    unit_scores: list[float] = []
+    unit_widths: list[float] = []
+    unit_layer: list[int] = []
+    unit_tile: list[int] = []
+    unit_row: list[int] = []
+    forced_flags: list[bool] = []
+    for li, (m, groups) in enumerate(zip(mats, groups_per_layer)):
+        norm = normalize_scores(m, config.normalize)
+        per_tile = row_unit_scores(norm, groups, config.reduction)
+        for ti, (cols, rs) in enumerate(zip(groups, per_tile)):
+            n_force = min(config.min_keep_rows, rs.shape[0])
+            protected = set(np.argsort(-rs, kind="stable")[:n_force].tolist())
+            for r in range(rs.shape[0]):
+                unit_scores.append(float(rs[r]))
+                unit_widths.append(float(cols.size))
+                unit_layer.append(li)
+                unit_tile.append(ti)
+                unit_row.append(r)
+                forced_flags.append(r in protected)
+
+    unit_scores_arr = np.array(unit_scores, dtype=np.float64)
+    unit_widths_arr = np.array(unit_widths, dtype=np.float64)
+    forced_arr = np.array(forced_flags, dtype=bool)
+    row_keep_flat = _global_select(
+        unit_scores_arr, unit_widths_arr, 1.0 - s_row, forced_arr, config.budget
+    )
+
+    row_masks: list[list[np.ndarray]] = [
+        [np.zeros(m.shape[0], dtype=bool) for _ in groups]
+        for m, groups in zip(mats, groups_per_layer)
+    ]
+    for u in range(row_keep_flat.shape[0]):
+        if row_keep_flat[u]:
+            row_masks[unit_layer[u]][unit_tile[u]][unit_row[u]] = True
+
+    masks = [
+        tw_mask_from_tiles(m.shape, groups, rms)
+        for m, groups, rms in zip(mats, groups_per_layer, row_masks)
+    ]
+    total = sum(m.size for m in mats)
+    kept = sum(int(np.count_nonzero(mk)) for mk in masks)
+    achieved = 1.0 - kept / total if total else 0.0
+    return TWStepResult(
+        col_keeps=col_keeps,
+        column_groups=groups_per_layer,
+        row_masks=row_masks,
+        masks=masks,
+        achieved_sparsity=achieved,
+    )

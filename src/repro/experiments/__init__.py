@@ -1,0 +1,31 @@
+"""Experiment pipelines shared by the benchmark harnesses and examples.
+
+- :mod:`repro.experiments.accuracy` — train a task once, snapshot it, then
+  prune-and-fine-tune with any pattern at any sparsity (the engine behind
+  Figs. 9a, 10a, 12, 13 and the accuracy side of Fig. 14);
+- :mod:`repro.experiments.latency` — price any (model, pattern, sparsity,
+  engine) combination on the simulator (Figs. 3, 9b, 10b, 11, 15 and the
+  latency side of Fig. 14);
+- :mod:`repro.experiments.matched` — accuracy-matched sparsity selection
+  (the paper's "<1-3 % drop" regime behind the 1.95×/2.86× headline).
+"""
+
+from repro.experiments.accuracy import TaskBundle, prepare_task, prune_and_evaluate
+from repro.experiments.latency import (
+    MODEL_SHAPES,
+    gemm_speedup,
+    model_plans,
+    sparsity_sweep,
+)
+from repro.experiments.matched import accuracy_matched_sparsity
+
+__all__ = [
+    "TaskBundle",
+    "prepare_task",
+    "prune_and_evaluate",
+    "MODEL_SHAPES",
+    "model_plans",
+    "gemm_speedup",
+    "sparsity_sweep",
+    "accuracy_matched_sparsity",
+]

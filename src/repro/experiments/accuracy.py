@@ -1,0 +1,265 @@
+"""Accuracy experiment pipeline: train once, prune many ways.
+
+The paper's accuracy methodology (§VII-A): start from a trained dense
+model, prune with each sparsity pattern using the *same* multi-stage
+algorithm (gradual targets + per-stage fine-tuning), and report downstream
+accuracy.  This module reproduces that flow on the Mini* models:
+
+1. :func:`prepare_task` trains a dense model on the task's synthetic
+   dataset and snapshots its weights;
+2. :func:`prune_and_evaluate` restores the snapshot, runs multi-stage
+   pruning with the requested pattern (TW through Algorithm 1, baselines
+   through the shared stage loop with their own mask rules), fine-tuning
+   after each stage with masks enforced, and returns test accuracy.
+
+Everything is deterministic given the seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core import (
+    AprioriConfig,
+    GradualSchedule,
+    ImportanceConfig,
+    TEWConfig,
+    TWPruneConfig,
+    TWPruner,
+    tew_overlay,
+)
+from repro.core.importance import score_matrix
+from repro.nn.datasets import (
+    ClassificationSplit,
+    ImagePatternDataset,
+    SentencePairDataset,
+    Seq2SeqDataset,
+    SpanQADataset,
+)
+from repro.nn.layers import Module
+from repro.nn.optimizer import Adam
+from repro.nn.trainer import TrainConfig, TrainedModelAdapter, Trainer
+from repro.models import (
+    BertConfig,
+    MiniBERTClassifier,
+    MiniBERTSpan,
+    MiniNMT,
+    MiniVGG,
+    NMTConfig,
+    VGGConfig,
+)
+from repro.patterns import (
+    BlockWisePattern,
+    ElementWisePattern,
+    Pattern,
+    VectorWisePattern,
+)
+
+__all__ = ["TaskBundle", "prepare_task", "prune_and_evaluate", "TASKS"]
+
+TASKS = ("mnli", "squad", "vgg", "nmt")
+
+
+@dataclass
+class TaskBundle:
+    """A trained dense model plus everything pruning runs need."""
+
+    name: str
+    model: Module
+    train_split: ClassificationSplit
+    test_split: ClassificationSplit
+    baseline_metric: float
+    snapshot: list[np.ndarray] = field(default_factory=list)
+    finetune: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=1))
+    metric_name: str = "accuracy"
+
+    def restore(self) -> None:
+        """Reset the model to its trained dense state."""
+        self.model.load_state_arrays(self.snapshot)
+
+    def evaluate(self) -> float:
+        """Test metric of the model's current weights."""
+        return self.model.evaluate(self.test_split)
+
+    def adapter(self) -> TrainedModelAdapter:
+        """A fresh pruning adapter over the model's prunable GEMMs."""
+        return TrainedModelAdapter(
+            self.model.prunable_weights(),
+            self.model.loss,
+            self.train_split,
+            self.finetune,
+        )
+
+
+def _train(model: Module, split: ClassificationSplit, cfg: TrainConfig) -> None:
+    opt = Adam(list(model.parameters()), lr=cfg.lr)
+    Trainer(model.loss, opt).train(split, cfg)
+
+
+def prepare_task(task: str, seed: int = 0, train_samples: int = 768) -> TaskBundle:
+    """Train a dense Mini* model for one of the paper's four tasks.
+
+    Tasks: ``mnli`` (sentence-pair classification), ``squad`` (span F1),
+    ``vgg`` (image classification), ``nmt`` (BLEU).  Training budgets are
+    sized so the dense baselines have clear headroom above chance.
+    """
+    if task == "mnli":
+        ds = SentencePairDataset(vocab_size=128, seq_len=16, seed=seed)
+        train, test = ds.sample(train_samples, seed + 1), ds.sample(256, seed + 2)
+        model = MiniBERTClassifier(
+            BertConfig(vocab_size=128, dim=48, n_layers=2, n_heads=4, max_len=32, seed=seed),
+            n_classes=3,
+        )
+        _train(model, train, TrainConfig(epochs=8, batch_size=64, lr=2e-3, seed=seed))
+        finetune = TrainConfig(epochs=1, batch_size=64, lr=1e-3, seed=seed)
+        metric = "accuracy"
+    elif task == "squad":
+        ds = SpanQADataset(vocab_size=128, seq_len=24, n_marker_kinds=3, seed=seed)
+        train, test = ds.sample(max(train_samples, 1024), seed + 1), ds.sample(128, seed + 2)
+        model = MiniBERTSpan(
+            BertConfig(vocab_size=128, dim=48, n_layers=2, n_heads=4, max_len=32, seed=seed)
+        )
+        _train(model, train, TrainConfig(epochs=10, batch_size=64, lr=2e-3, seed=seed))
+        finetune = TrainConfig(epochs=1, batch_size=64, lr=1e-3, seed=seed)
+        metric = "span F1"
+    elif task == "vgg":
+        ds = ImagePatternDataset(n_classes=4, seed=seed)
+        train, test = ds.sample(train_samples, seed + 1), ds.sample(128, seed + 2)
+        model = MiniVGG(VGGConfig(n_classes=4, seed=seed))
+        _train(model, train, TrainConfig(epochs=5, batch_size=64, lr=2e-3, seed=seed))
+        finetune = TrainConfig(epochs=1, batch_size=64, lr=1e-3, seed=seed)
+        metric = "accuracy"
+    elif task == "nmt":
+        ds = Seq2SeqDataset(vocab_size=32, max_len=8, seed=seed)
+        train, test = ds.sample(train_samples, seed + 1), ds.sample(64, seed + 2)
+        model = MiniNMT(NMTConfig(vocab_size=32, dim=48, seed=seed))
+        _train(model, train, TrainConfig(epochs=14, batch_size=64, lr=5e-3, seed=seed))
+        finetune = TrainConfig(epochs=2, batch_size=64, lr=2e-3, seed=seed)
+        metric = "BLEU"
+    else:
+        raise KeyError(f"unknown task {task!r}; expected one of {TASKS}")
+    bundle = TaskBundle(
+        name=task,
+        model=model,
+        train_split=train,
+        test_split=test,
+        baseline_metric=model.evaluate(test),
+        snapshot=model.state_arrays(),
+        finetune=finetune,
+        metric_name=metric,
+    )
+    return bundle
+
+
+def _baseline_pattern(name: str, **kw) -> Pattern:
+    if name == "ew":
+        return ElementWisePattern()
+    if name == "vw":
+        return VectorWisePattern(vector_size=kw.get("vector_size", 16))
+    if name == "bw":
+        return BlockWisePattern(block_shape=kw.get("block_shape", (32, 32)))
+    raise KeyError(f"unknown baseline pattern {name!r}")
+
+
+def _multi_stage_baseline(
+    adapter: TrainedModelAdapter,
+    pattern: Pattern,
+    schedule: GradualSchedule,
+    importance: ImportanceConfig,
+) -> None:
+    """The paper's stage loop applied to a baseline pattern's mask rule."""
+    for target in schedule.stages():
+        weights = adapter.weight_matrices()
+        grads = adapter.gradient_matrices()
+        scores = [
+            score_matrix(w, grads[i] if grads else None, importance)
+            for i, w in enumerate(weights)
+        ]
+        result = pattern.prune(scores, target)
+        adapter.apply_masks(result.masks)
+        adapter.fine_tune()
+
+
+def prune_and_evaluate(
+    bundle: TaskBundle,
+    pattern: str,
+    sparsity: float,
+    *,
+    granularity: int = 64,
+    vector_size: int = 16,
+    block_shape: tuple[int, int] = (32, 32),
+    tew_delta: float = 0.05,
+    n_stages: int = 2,
+    apriori: bool = True,
+    importance: ImportanceConfig | None = None,
+    prune_config: TWPruneConfig | None = None,
+) -> float:
+    """Restore the dense snapshot, prune with ``pattern``, return the metric.
+
+    ``pattern`` ∈ {``dense``, ``ew``, ``vw``, ``bw``, ``tw``, ``tew``}.
+    """
+    bundle.restore()
+    if pattern == "dense" or sparsity == 0.0:
+        return bundle.evaluate()
+    importance = importance or ImportanceConfig(method="taylor")
+    schedule = GradualSchedule(target=sparsity, n_stages=n_stages)
+    adapter = bundle.adapter()
+
+    if pattern == "tw":
+        cfg = prune_config or TWPruneConfig(granularity=granularity)
+        pruner = TWPruner(
+            cfg, schedule, importance, AprioriConfig() if apriori else None
+        )
+        pruner.prune(adapter)
+    elif pattern == "tew":
+        # TW to sparsity + delta, then restore the best delta fraction (§IV-A).
+        # Restore candidates are ranked by the *dense* model's importance
+        # scores, captured before pruning — after pruning, pruned weights are
+        # zero and would score zero, making the selection meaningless.
+        snapshot_weights = [
+            bundle.snapshot[i] for i in _prunable_snapshot_indices(bundle)
+        ]
+        dense_grads = adapter.gradient_matrices()
+        dense_scores = [
+            score_matrix(w, dense_grads[i] if dense_grads else None, importance)
+            for i, w in enumerate(snapshot_weights)
+        ]
+        overshoot = min(sparsity + tew_delta, 0.99)
+        cfg = prune_config or TWPruneConfig(granularity=granularity)
+        pruner = TWPruner(
+            cfg,
+            GradualSchedule(target=overshoot, n_stages=n_stages),
+            importance,
+            AprioriConfig() if apriori else None,
+        )
+        result = pruner.prune(adapter)
+        sol = tew_overlay(
+            snapshot_weights, dense_scores, result.masks, TEWConfig(delta=tew_delta)
+        )
+        # write the restored elements' trained values back before masking —
+        # the overlay *revives* weights, it does not merely unmask zeros
+        for tensor, saved, ew_mask in zip(
+            adapter.prunable, snapshot_weights, sol.ew_masks
+        ):
+            tensor.data[ew_mask] = saved[ew_mask]
+        adapter.apply_masks(sol.masks)
+        adapter.fine_tune()
+    elif pattern in ("ew", "vw", "bw"):
+        p = _baseline_pattern(
+            pattern, vector_size=vector_size, block_shape=block_shape
+        )
+        _multi_stage_baseline(adapter, p, schedule, importance)
+    else:
+        raise KeyError(f"unknown pattern {pattern!r}")
+    return bundle.evaluate()
+
+
+def _prunable_snapshot_indices(bundle: TaskBundle) -> list[int]:
+    """Indices of the prunable tensors within ``parameters()`` order."""
+    params = list(bundle.model.parameters())
+    prunable = bundle.model.prunable_weights()
+    index_of = {id(p): i for i, p in enumerate(params)}
+    return [index_of[id(w)] for w in prunable]

@@ -1,0 +1,43 @@
+"""Accuracy-matched sparsity selection (the paper's headline regime).
+
+§VII-C compares patterns "with the same level of accuracy drop (BERT with
+< 3 % drop, VGG with < 1 % drop and NMT with < 1 BLEU drop)" — each pattern
+runs at the *highest sparsity it can afford* within the drop budget, and
+speedups are compared there.  Less expressive patterns afford less
+sparsity, which is how BW ends up at 0.41× while TW reaches 1.95×.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["accuracy_matched_sparsity", "DROP_BUDGETS"]
+
+#: The paper's per-model accuracy-drop budgets (§VII-C).
+DROP_BUDGETS: dict[str, float] = {
+    "mnli": 0.03,   # BERT < 3 % accuracy drop
+    "squad": 0.03,
+    "vgg": 0.01,    # VGG < 1 % drop
+    "nmt": 1.0,     # NMT < 1 BLEU drop (absolute)
+}
+
+
+def accuracy_matched_sparsity(
+    sparsities: Sequence[float],
+    metrics: Sequence[float],
+    baseline: float,
+    budget: float,
+) -> float | None:
+    """Highest sparsity whose metric stays within ``budget`` of baseline.
+
+    ``metrics[i]`` is the post-pruning metric at ``sparsities[i]``.  Returns
+    ``None`` if no measured sparsity fits the budget (the pattern cannot
+    match accuracy at any useful sparsity — the Fig. 14 "dominated" case).
+    """
+    if len(sparsities) != len(metrics):
+        raise ValueError("sparsities and metrics must have equal lengths")
+    best: float | None = None
+    for s, m in zip(sparsities, metrics):
+        if baseline - m <= budget + 1e-9 and (best is None or s > best):
+            best = s
+    return best

@@ -1,0 +1,25 @@
+"""Sparse matrix storage formats.
+
+This subpackage implements, from scratch on NumPy, the storage formats the
+paper's execution paths rely on:
+
+- :class:`~repro.formats.csr.CSRMatrix` — compressed sparse row, the format
+  consumed by the cuSparse-like SpMM path (element-wise / vector-wise models).
+- :class:`~repro.formats.csc.CSCMatrix` — compressed sparse column, used for
+  the element-wise residual of the hybrid TEW pattern (paper Fig. 4 step 3).
+- :class:`~repro.formats.bsr.BSRMatrix` — block-sparse row, the format
+  consumed by the BlockSparse-like path (block-wise models).
+- :class:`~repro.formats.tiled.TiledTWMatrix` — the paper's tile-wise compact
+  layout: per-tile dense panels with ``mask_k`` / ``mask_n`` vectors
+  (paper Fig. 4 step 4 and Fig. 7).
+
+All formats support lossless round-trips to dense and carry exact sparsity
+accounting so pattern comparisons are apples-to-apples.
+"""
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.bsr import BSRMatrix
+from repro.formats.tiled import TiledTWMatrix, TWTile
+
+__all__ = ["CSRMatrix", "CSCMatrix", "BSRMatrix", "TiledTWMatrix", "TWTile"]

@@ -1,0 +1,134 @@
+"""Compressed Sparse Column (CSC) matrix.
+
+The paper stores the element-wise residual of the hybrid TEW pattern in CSC
+(Fig. 4 step 3): "each tile stores the EW pattern with the compressed sparse
+column (CSC) format".  CSC mirrors CSR with the roles of rows and columns
+swapped, which matches the column-panel ("B-tile") access order of the TW
+GEMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CSCMatrix"]
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """An immutable CSC matrix (column-major compressed storage).
+
+    Attributes
+    ----------
+    shape:
+        ``(n_rows, n_cols)`` of the logical dense matrix.
+    indptr:
+        ``int64[n_cols + 1]``; column ``j`` owns non-zeros
+        ``indices[indptr[j]:indptr[j+1]]``.
+    indices:
+        ``int64[nnz]`` row index of each stored value, sorted within a column.
+    data:
+        ``float64[nnz]`` stored values.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        """Compress a 2-D dense array, dropping exact zeros."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError(f"CSC requires a 2-D array, got ndim={dense.ndim}")
+        rows, cols = np.nonzero(dense)
+        order = np.lexsort((rows, cols))
+        rows, cols = rows[order], cols[order]
+        indptr = np.zeros(dense.shape[1] + 1, dtype=np.int64)
+        np.add.at(indptr, cols + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(
+            shape=dense.shape,
+            indptr=indptr,
+            indices=rows.astype(np.int64),
+            data=dense[rows, cols].astype(np.float64),
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any structural inconsistency."""
+        n_rows, n_cols = self.shape
+        if self.indptr.shape != (n_cols + 1,):
+            raise ValueError(f"indptr length {self.indptr.shape[0]} != n_cols+1={n_cols + 1}")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise ValueError("indices/data length must equal indptr[-1]")
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n_rows):
+            raise ValueError("row index out of range")
+        for c in range(n_cols):
+            seg = self.indices[self.indptr[c] : self.indptr[c + 1]]
+            if seg.size > 1 and np.any(np.diff(seg) <= 0):
+                raise ValueError(f"column {c} has unsorted or duplicate row indices")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries stored."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of entries not stored."""
+        return 1.0 - self.density
+
+    def col_nnz(self) -> np.ndarray:
+        """Per-column non-zero counts (length ``n_cols``)."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        """Expand back to a dense ``float64`` array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        cols = np.repeat(np.arange(self.shape[1]), self.col_nnz())
+        out[self.indices, cols] = self.data
+        return out
+
+    def left_matmul_dense(self, dense_lhs: np.ndarray) -> np.ndarray:
+        """Compute ``dense_lhs @ self`` column-wise (functional reference).
+
+        This is the access pattern of the TEW residual: the activation matrix
+        ``A`` multiplies the sparse EW remainder stored per column panel.
+        """
+        dense_lhs = np.asarray(dense_lhs)
+        if dense_lhs.ndim != 2 or dense_lhs.shape[1] != self.shape[0]:
+            raise ValueError(
+                f"lhs shape {dense_lhs.shape} incompatible with {self.shape}"
+            )
+        out = np.zeros((dense_lhs.shape[0], self.shape[1]), dtype=np.result_type(self.data, dense_lhs))
+        cols = np.repeat(np.arange(self.shape[1]), self.col_nnz())
+        # out[:, c] += lhs[:, r] * v  for each stored (r, c, v)
+        np.add.at(out.T, cols, self.data[:, None] * dense_lhs.T[self.indices])
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSCMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.data, other.data)
+        )

@@ -1,0 +1,159 @@
+"""Compressed Sparse Row (CSR) matrix.
+
+CSR is the canonical GPU sparse format: three arrays (``indptr``, ``indices``,
+``data``) storing the non-zeros row by row.  The paper executes element-wise
+(EW) and vector-wise (VW) pruned models through cuSparse, which consumes CSR;
+our functional SpMM kernel (:mod:`repro.kernels.spmm`) and the cuSparse cost
+model (:mod:`repro.gpu.cusparse`) both consume this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CSRMatrix"]
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An immutable CSR matrix.
+
+    Attributes
+    ----------
+    shape:
+        ``(n_rows, n_cols)`` of the logical dense matrix.
+    indptr:
+        ``int64[n_rows + 1]``; row ``i`` owns non-zeros
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        ``int64[nnz]`` column index of each stored value, sorted within a row.
+    data:
+        ``float64[nnz]`` stored values (explicit zeros are allowed but
+        :meth:`from_dense` never produces them).
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Compress a 2-D dense array, dropping exact zeros."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError(f"CSR requires a 2-D array, got ndim={dense.ndim}")
+        rows, cols = np.nonzero(dense)
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(
+            shape=dense.shape,
+            indptr=indptr,
+            indices=cols.astype(np.int64),
+            data=dense[rows, cols].astype(np.float64),
+        )
+
+    @classmethod
+    def from_mask(cls, dense: np.ndarray, mask: np.ndarray) -> "CSRMatrix":
+        """Compress ``dense * mask`` without materialising the product."""
+        dense = np.asarray(dense)
+        mask = np.asarray(mask, dtype=bool)
+        if dense.shape != mask.shape:
+            raise ValueError(f"mask shape {mask.shape} != dense shape {dense.shape}")
+        return cls.from_dense(np.where(mask, dense, 0.0))
+
+    # ------------------------------------------------------------------ #
+    # validation & properties
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any structural inconsistency."""
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError(f"negative shape {self.shape}")
+        if self.indptr.shape != (n_rows + 1,):
+            raise ValueError(f"indptr length {self.indptr.shape[0]} != n_rows+1={n_rows + 1}")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise ValueError("indices/data length must equal indptr[-1]")
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise ValueError("column index out of range")
+        # columns sorted within each row
+        for r in range(n_rows):
+            seg = self.indices[self.indptr[r] : self.indptr[r + 1]]
+            if seg.size > 1 and np.any(np.diff(seg) <= 0):
+                raise ValueError(f"row {r} has unsorted or duplicate column indices")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries stored (``nnz / (rows*cols)``)."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of entries *not* stored; the paper's ``S``."""
+        return 1.0 - self.density
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row non-zero counts (length ``n_rows``)."""
+        return np.diff(self.indptr)
+
+    # ------------------------------------------------------------------ #
+    # conversion & compute
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> np.ndarray:
+        """Expand back to a dense ``float64`` array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz())
+        out[rows, self.indices] = self.data
+        return out
+
+    def matmul_dense(self, dense_rhs: np.ndarray) -> np.ndarray:
+        """Compute ``self @ dense_rhs`` row-wise (functional reference).
+
+        A vectorised gather-scatter implementation: for each stored entry
+        ``(r, c, v)`` accumulate ``v * rhs[c, :]`` into row ``r``.
+        """
+        dense_rhs = np.asarray(dense_rhs)
+        if dense_rhs.ndim != 2 or dense_rhs.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"rhs shape {dense_rhs.shape} incompatible with {self.shape}"
+            )
+        out = np.zeros((self.shape[0], dense_rhs.shape[1]), dtype=np.result_type(self.data, dense_rhs))
+        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz())
+        np.add.at(out, rows, self.data[:, None] * dense_rhs[self.indices])
+        return out
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose, still in CSR (i.e. CSC of the original)."""
+        return CSRMatrix.from_dense(self.to_dense().T)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.data, other.data)
+        )

@@ -1,0 +1,282 @@
+"""Tile-wise (TW) compact matrix layout.
+
+This is the paper's own execution format (Fig. 4 step 4, Fig. 7): the weight
+matrix ``B (K×N)`` is split into column tiles ("B-tiles").  Column pruning
+removes whole columns; the surviving columns are then *re-organised* into
+tiles of ``G`` surviving columns each (paper §IV-A "Pruning Order"), and row
+pruning assigns every tile its own row mask ``mask_k``.
+
+Each :class:`TWTile` therefore stores
+
+- ``col_indices`` — the original column indices this tile owns (all of them
+  survivors of column pruning; a column appearing in no tile was pruned),
+- ``mask_k``      — ``bool[K]``, True for rows kept by this tile's row pruning,
+- ``data``        — the compact dense ``kept_k × kept_n`` payload.
+
+Because every tile is dense after compaction, the sparse product collapses to
+a set of *smaller dense GEMMs*, which is the property that lets TW run on
+unmodified tensor cores.  Tiles with equal widths can be batched into a
+single kernel (Fig. 7 step 3) — :meth:`TiledTWMatrix.width_groups` exposes
+the batching key.
+
+Both tiling disciplines in the paper are representable:
+
+- *reorganised* tiling (the paper's default): tiles own ``G`` consecutive
+  survivors, so all but the last tile have equal width;
+- *fixed-boundary* tiling (Fig. 4 step 2's pruning view, kept as an
+  ablation): tiles own the survivors of each original ``G``-wide panel, so
+  widths vary per tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TWTile", "TiledTWMatrix"]
+
+
+@dataclass(frozen=True)
+class TWTile:
+    """One compacted column tile of a TW matrix.
+
+    Attributes
+    ----------
+    col_indices:
+        ``int64[kept_n]`` strictly increasing original column indices.
+    mask_k:
+        ``bool[K]`` — True for rows kept by row pruning in this tile.
+    data:
+        ``float64[kept_k, kept_n]`` compact dense payload,
+        ``data[a, b] = B[rows_kept[a], col_indices[b]]``.
+    """
+
+    col_indices: np.ndarray
+    mask_k: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.col_indices.ndim != 1:
+            raise ValueError("col_indices must be 1-D")
+        if self.col_indices.size > 1 and np.any(np.diff(self.col_indices) <= 0):
+            raise ValueError("col_indices must be strictly increasing")
+        expect = (int(self.mask_k.sum()), int(self.col_indices.size))
+        if self.data.shape != expect:
+            raise ValueError(f"tile data shape {self.data.shape} != masks imply {expect}")
+
+    @property
+    def kept_k(self) -> int:
+        """Rows surviving row pruning — the tile's effective reduction depth."""
+        return int(self.mask_k.sum())
+
+    @property
+    def kept_n(self) -> int:
+        """Columns owned by the tile — its effective width."""
+        return int(self.col_indices.size)
+
+    @property
+    def work(self) -> int:
+        """Multiply-add count contributed per output row (``kept_k · kept_n``)."""
+        return self.kept_k * self.kept_n
+
+    def row_indices(self) -> np.ndarray:
+        """Original row indices kept by this tile (``int64[kept_k]``)."""
+        return np.flatnonzero(self.mask_k)
+
+
+@dataclass(frozen=True)
+class TiledTWMatrix:
+    """A ``K×N`` matrix stored as TW column tiles.
+
+    Attributes
+    ----------
+    shape:
+        Logical dense shape ``(K, N)``.
+    granularity:
+        Tile width ``G`` (the paper's tunable hyper-parameter).
+    tiles:
+        Column tiles; together they own every *surviving* column exactly once.
+    """
+
+    shape: tuple[int, int]
+    granularity: int
+    tiles: tuple[TWTile, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_masks(
+        cls,
+        dense: np.ndarray,
+        granularity: int,
+        col_keep: np.ndarray,
+        row_masks: list[np.ndarray],
+        *,
+        reorganize: bool = True,
+    ) -> "TiledTWMatrix":
+        """Compact ``dense`` under a column keep-mask and per-tile row masks.
+
+        Parameters
+        ----------
+        dense:
+            The ``K×N`` weight matrix (values in pruned positions ignored).
+        granularity:
+            Tile width ``G``.
+        col_keep:
+            ``bool[N]`` — columns surviving column pruning.
+        row_masks:
+            One ``bool[K]`` per tile, in tile order.  The number of tiles is
+            ``ceil(n_surviving / G)`` when ``reorganize`` else ``ceil(N / G)``.
+        reorganize:
+            If True (paper default), group *surviving* columns ``G`` at a
+            time; otherwise keep the original fixed panel boundaries.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError(f"expected 2-D array, got ndim={dense.ndim}")
+        k, n = dense.shape
+        col_keep = np.asarray(col_keep, dtype=bool)
+        if col_keep.shape != (n,):
+            raise ValueError(f"col_keep length {col_keep.shape[0]} != N={n}")
+        groups = cls.column_groups(col_keep, granularity, reorganize=reorganize)
+        if len(row_masks) != len(groups):
+            raise ValueError(f"expected {len(groups)} row masks, got {len(row_masks)}")
+        tiles = []
+        for cols, mk in zip(groups, row_masks):
+            mk = np.asarray(mk, dtype=bool)
+            if mk.shape != (k,):
+                raise ValueError(f"row mask length {mk.shape[0]} != K={k}")
+            rows = np.flatnonzero(mk)
+            data = dense[np.ix_(rows, cols)] if rows.size and cols.size else np.zeros(
+                (rows.size, cols.size)
+            )
+            tiles.append(TWTile(cols.astype(np.int64), mk, np.ascontiguousarray(data)))
+        return cls(shape=(k, n), granularity=granularity, tiles=tuple(tiles))
+
+    @staticmethod
+    def column_groups(
+        col_keep: np.ndarray, granularity: int, *, reorganize: bool = True
+    ) -> list[np.ndarray]:
+        """Group surviving column indices into tiles.
+
+        With ``reorganize`` (paper §IV-A), consecutive survivors are grouped
+        ``G`` at a time so all tiles but possibly the last have equal width —
+        the precondition for batched execution.  Without it, the original
+        ``G``-wide panel boundaries are kept and tiles have ragged widths.
+        Empty groups (fully-pruned panels) are dropped.
+        """
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")
+        col_keep = np.asarray(col_keep, dtype=bool)
+        survivors = np.flatnonzero(col_keep)
+        groups: list[np.ndarray] = []
+        if reorganize:
+            for start in range(0, survivors.size, granularity):
+                groups.append(survivors[start : start + granularity])
+        else:
+            n = col_keep.shape[0]
+            for start in range(0, n, granularity):
+                panel = survivors[(survivors >= start) & (survivors < start + granularity)]
+                if panel.size:
+                    groups.append(panel)
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # validation & properties
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise ``ValueError`` on overlapping tiles or bad indices."""
+        k, n = self.shape
+        if self.granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {self.granularity}")
+        seen = np.zeros(n, dtype=bool)
+        for i, t in enumerate(self.tiles):
+            if t.mask_k.shape != (k,):
+                raise ValueError(f"tile {i}: mask_k length != K={k}")
+            if t.kept_n > self.granularity:
+                raise ValueError(
+                    f"tile {i}: width {t.kept_n} exceeds granularity {self.granularity}"
+                )
+            if t.col_indices.size and (
+                t.col_indices.min() < 0 or t.col_indices.max() >= n
+            ):
+                raise ValueError(f"tile {i}: column index out of range")
+            if np.any(seen[t.col_indices]):
+                raise ValueError(f"tile {i}: column owned by more than one tile")
+            seen[t.col_indices] = True
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of column tiles."""
+        return len(self.tiles)
+
+    @property
+    def kept_columns(self) -> int:
+        """Total surviving columns across tiles."""
+        return sum(t.kept_n for t in self.tiles)
+
+    @property
+    def sparsity(self) -> float:
+        """Element-level sparsity implied by the tile masks."""
+        total = self.shape[0] * self.shape[1]
+        kept = sum(t.work for t in self.tiles)
+        return 1.0 - kept / total if total else 0.0
+
+    @property
+    def flops_fraction(self) -> float:
+        """Fraction of the dense GEMM's multiply-adds still required."""
+        return 1.0 - self.sparsity
+
+    def kept_widths(self) -> np.ndarray:
+        """Per-tile widths ``N_i`` — the batching key (Fig. 4 step 4)."""
+        return np.array([t.kept_n for t in self.tiles], dtype=np.int64)
+
+    def kept_depths(self) -> np.ndarray:
+        """Per-tile reduction depths ``K_i``."""
+        return np.array([t.kept_k for t in self.tiles], dtype=np.int64)
+
+    def width_groups(self) -> dict[int, list[int]]:
+        """Tile indices grouped by width — each group batches into one kernel."""
+        groups: dict[int, list[int]] = {}
+        for i, t in enumerate(self.tiles):
+            groups.setdefault(t.kept_n, []).append(i)
+        return groups
+
+    def load_imbalance(self) -> float:
+        """Max/mean ratio of per-tile multiply-add counts (1.0 = balanced)."""
+        work = np.array([t.work for t in self.tiles], dtype=np.float64)
+        if work.size == 0:
+            return 1.0
+        mean = work.mean()
+        return float(work.max() / mean) if mean > 0 else 1.0
+
+    def to_dense(self) -> np.ndarray:
+        """Expand back to the logical dense ``K×N`` array (zeros where pruned)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        for t in self.tiles:
+            rows = t.row_indices()
+            if rows.size and t.col_indices.size:
+                out[np.ix_(rows, t.col_indices)] = t.data
+        return out
+
+    def element_mask(self) -> np.ndarray:
+        """Full ``bool[K, N]`` keep-mask implied by the tile masks."""
+        out = np.zeros(self.shape, dtype=bool)
+        for t in self.tiles:
+            out[np.ix_(np.flatnonzero(t.mask_k), t.col_indices)] = True
+        return out
+
+    def memory_bytes(self, dtype_bytes: int = 2, mask_bytes: int = 4) -> int:
+        """Storage footprint: compact payloads + int32 masks (paper Fig. 11).
+
+        The paper stores masks in int32 (one word per row/column flag), which
+        is the source of the 2× load-transaction overhead at zero sparsity.
+        """
+        payload = sum(t.data.size for t in self.tiles) * dtype_bytes
+        masks = sum(t.mask_k.size + t.kept_n for t in self.tiles) * mask_bytes
+        return payload + masks

@@ -1,0 +1,140 @@
+"""Calibration constants for the latency simulator, with provenance.
+
+Every free parameter of the cost models lives here, is set **once**, and is
+never varied per experiment.  Values come from two sources:
+
+1. *published V100 characteristics* — cuBLAS/CUTLASS dense-GEMM efficiency,
+   cuSparse SpMM effective throughput, BlockSparse relative efficiency; and
+2. *the paper's own anchor points* — Fig. 3 (EW/VW/BW slower than dense),
+   Fig. 9b (TW break-even ≈40%, 2.26× at 75%; BW-64 break-even ≈90%),
+   Fig. 11 (≈2× load transactions and ≈35% slowdown at 0% TW sparsity,
+   11.6× at 99%).
+
+``tests/test_gpu_calibration.py`` asserts the anchors hold to tolerance, so
+the model cannot silently drift as the code evolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All tunable constants of the cost models.
+
+    Attributes
+    ----------
+    tc_dense_efficiency:
+        Fraction of tensor-core peak that cuBLAS reaches on large FP16
+        GEMMs.  Public V100 measurements put cuBLAS at 60–75 % of the 125
+        TFLOPS peak for BERT-sized GEMMs; we use 0.62.
+    cuda_dense_efficiency:
+        Fraction of CUDA-core FP32 peak for dense SGEMM (~0.75 for cuBLAS).
+    tc_k_half_sat:
+        Reduction-depth at which tensor-core efficiency reaches half of its
+        ceiling (short-K GEMMs cannot amortise the pipeline).
+    spmm_efficiency:
+        cuSparse csrmm effective FLOP fraction of CUDA-core peak.  Public
+        studies measure 2–8 % for DNN-shaped matrices at 50–95 % sparsity;
+        0.05 places the EW break-even near 93 % sparsity, consistent with
+        §II-B's ">95 % reported by prior work" and Fig. 3's slowdowns.
+    spmm_gather_bytes_per_nnz:
+        Effective DRAM bytes per non-zero in the SpMM gather (value + column
+        index + rhs-row traffic after cache reuse).
+    bs_block_efficiency:
+        BlockSparse tensor-core efficiency by block size (absolute fraction
+        of TC peak).  Anchors: BW-32 ≈3× slower than dense at ~55–60 %
+        sparsity (Fig. 3); BW-64 break-even ≈90 % (Fig. 9b); BW needs ≥32
+        blocks for "high performance" (§IV-B citing Child et al.).
+    tw_efficiency_vs_dense:
+        TW kernel ceiling relative to cuBLAS dense (the masked CUTLASS
+        kernel is slightly slower than the closed-source cuBLAS).
+    tw_masked_load_stall:
+        Fractional slowdown of every TW main-loop iteration from the masked
+        A-tile gather (``Load_A_Tile_with_Mask`` is a dependent
+        mask→index→load chain the MMA pipeline cannot hide).  This is the
+        mechanism behind the paper's ≈35 % loss at zero sparsity (Fig. 11):
+        because the stall rides *with* compute it shrinks as pruning shrinks
+        the loop, unlike a fixed memory tax.
+    tw_g_half_sat:
+        Granularity at which TW kernel efficiency reaches half its ceiling,
+        *normalised so G = 128 ≡ 1.0* (small G under-fills the MMA
+        pipeline; Fig. 9b shows G=64 slower than G=128).
+    tw_a_reread_l2_factor:
+        Effective divisor on the per-tile A-panel re-read traffic due to L2
+        hits (each of the ``ceil(N/G)`` tiles re-reads A; some re-reads hit
+        L2).  Together with ``tw_mask_bytes_factor`` this is calibrated to
+        the ≈2× load-transaction anchor of Fig. 11 at 0 % sparsity.
+    tw_mask_bytes_factor:
+        Multiplier on int32 mask traffic (masks are re-read per thread
+        block and fetched through uncoalesced 32 B sectors).
+    uncoalesced_penalty:
+        Traffic multiplier for the *un*-transposed layout (Fig. 7 step 1):
+        a fully strided FP16 warp access touches a separate 32 B sector per
+        lane (up to 16× the coalesced traffic on Volta); we use 10, which
+        pins the Fig. 15 anchor that the GEMM "cannot benefit from the high
+        sparsity" without the transpose optimisation.
+    transpose_bw_fraction:
+        Fraction of DRAM bandwidth the standalone transpose kernel achieves
+        (it is a pure copy with one strided stream).
+    nongemm_bytes_per_element:
+        DRAM bytes per tensor element for unfused element-wise kernels
+        (read + write, FP16).
+    fused_kernel_discount:
+        Fraction of launches+traffic removed by fusing a chain of
+        element-wise kernels (paper: 39 % → 29 % non-GEMM share on BERT).
+    """
+
+    tc_dense_efficiency: float = 0.62
+    cuda_dense_efficiency: float = 0.75
+    tc_k_half_sat: float = 96.0
+    spmm_efficiency: float = 0.045
+    spmm_gather_bytes_per_nnz: float = 24.0
+    bs_block_efficiency: tuple[tuple[int, float], ...] = (
+        (8, 0.018),
+        (16, 0.045),
+        (32, 0.090),
+        (64, 0.052),
+        (128, 0.045),
+    )
+    tw_efficiency_vs_dense: float = 1.0
+    tw_masked_load_stall: float = 0.40
+    tw_g_half_sat: float = 24.0
+    tw_a_reread_l2_factor: float = 1.6
+    tw_mask_bytes_factor: float = 3.0
+    uncoalesced_penalty: float = 10.0
+    transpose_bw_fraction: float = 0.55
+    nongemm_bytes_per_element: float = 4.0
+    fused_kernel_discount: float = 0.5
+
+    def block_sparse_efficiency(self, block_size: int) -> float:
+        """Interpolated BlockSparse efficiency for a square block size.
+
+        Piecewise-linear in log2(block size); clamped at the table ends.
+        The curve peaks at 32×32 — smaller blocks under-fill the MMA
+        fragments, larger blocks suffer wave quantisation and intra-block
+        padding (consistent with §IV-B's "BW requires a pruning unit of
+        32×32 for maintaining high performance").
+        """
+        import math
+
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        pts = self.bs_block_efficiency
+        if block_size <= pts[0][0]:
+            return pts[0][1]
+        if block_size >= pts[-1][0]:
+            return pts[-1][1]
+        for (b0, e0), (b1, e1) in zip(pts, pts[1:]):
+            if b0 <= block_size <= b1:
+                t = (math.log2(block_size) - math.log2(b0)) / (
+                    math.log2(b1) - math.log2(b0)
+                )
+                return e0 + t * (e1 - e0)
+        raise AssertionError("unreachable")
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,178 @@
+"""Shared cost-model machinery: breakdowns, counters, quantisation, roofline.
+
+Every engine in :mod:`repro.gpu` prices a kernel (or kernel sequence) as
+
+    total = launch_overhead + max(compute_time, memory_time)
+
+— the classical roofline, extended with three GPU-specific effects the
+paper's results hinge on:
+
+- **tile quantisation**: output tiles cover ``ceil(M/Ty)·ceil(N/G)`` tiles'
+  worth of compute even when M, N are not multiples (edge tiles run padded);
+- **wave quantisation**: thread blocks execute in waves of
+  ``sm_count·blocks_per_sm``; a trailing partial wave wastes slots;
+- **short-K inefficiency**: the GEMM main loop cannot amortise its pipeline
+  when the reduction dimension is small.
+
+Counters convert byte traffic into 32 B-sector *transactions* so Fig. 11's
+load/store counters can be reproduced directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import DeviceSpec
+
+__all__ = [
+    "PerfCounters",
+    "CostBreakdown",
+    "tile_quantization",
+    "wave_efficiency",
+    "short_k_efficiency",
+    "l2_reread_factor",
+    "roofline_us",
+]
+
+
+@dataclass
+class PerfCounters:
+    """Hardware-counter analogues (paper Fig. 11).
+
+    ``flops`` counts useful (unpadded) floating-point operations;
+    transactions are byte traffic divided by the 32 B sector size.
+    """
+
+    flops: float = 0.0
+    bytes_loaded: float = 0.0
+    bytes_stored: float = 0.0
+    sector_bytes: int = 32
+
+    @property
+    def load_transactions(self) -> float:
+        """Global-memory load transactions (32 B sectors)."""
+        return self.bytes_loaded / self.sector_bytes
+
+    @property
+    def store_transactions(self) -> float:
+        """Global-memory store transactions (32 B sectors)."""
+        return self.bytes_stored / self.sector_bytes
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Accumulate another kernel's counters."""
+        return PerfCounters(
+            flops=self.flops + other.flops,
+            bytes_loaded=self.bytes_loaded + other.bytes_loaded,
+            bytes_stored=self.bytes_stored + other.bytes_stored,
+            sector_bytes=self.sector_bytes,
+        )
+
+
+@dataclass
+class CostBreakdown:
+    """Latency decomposition of one kernel or kernel sequence.
+
+    Attributes
+    ----------
+    compute_us / memory_us:
+        The two roofline legs (already including efficiency factors).
+    launch_us:
+        Total launch overhead across ``kernels`` launches (after stream
+        overlap, if the engine models it).
+    kernels:
+        Number of kernel launches issued.
+    counters:
+        Aggregated performance counters.
+    label:
+        Engine name for reports.
+    """
+
+    compute_us: float = 0.0
+    memory_us: float = 0.0
+    launch_us: float = 0.0
+    kernels: int = 0
+    counters: PerfCounters = field(default_factory=PerfCounters)
+    label: str = ""
+
+    @property
+    def busy_us(self) -> float:
+        """Execution time of the kernel bodies (roofline max)."""
+        return max(self.compute_us, self.memory_us)
+
+    @property
+    def total_us(self) -> float:
+        """End-to-end latency including launch overhead."""
+        return self.busy_us + self.launch_us
+
+    def flops_efficiency(self, peak_flops: float) -> float:
+        """Achieved fraction of ``peak_flops`` (Fig. 11's FLOPS efficiency)."""
+        if self.total_us <= 0.0 or peak_flops <= 0.0:
+            return 0.0
+        return self.counters.flops / (self.total_us * 1e-6) / peak_flops
+
+    def merge_serial(self, other: "CostBreakdown", label: str | None = None) -> "CostBreakdown":
+        """Sequential composition: components add, counters accumulate.
+
+        Note the roofline max is applied per-part *before* summation, so the
+        merged ``busy_us`` uses the parts' totals (stored in ``compute_us``
+        with ``memory_us`` folded in).
+        """
+        return CostBreakdown(
+            compute_us=self.busy_us + other.busy_us,
+            memory_us=0.0,
+            launch_us=self.launch_us + other.launch_us,
+            kernels=self.kernels + other.kernels,
+            counters=self.counters.merge(other.counters),
+            label=label if label is not None else self.label,
+        )
+
+
+def tile_quantization(m: int, n: int, ty: int, g: int) -> float:
+    """Useful fraction of tile-covered output (≤ 1; 1 when exact multiples)."""
+    if m <= 0 or n <= 0:
+        return 1.0
+    covered = (-(-m // ty) * ty) * (-(-n // g) * g)
+    return (m * n) / covered
+
+
+def wave_efficiency(n_blocks: int, device: DeviceSpec) -> float:
+    """Slot utilisation across execution waves (≤ 1).
+
+    ``n_blocks`` thread blocks run in waves of ``device.block_slots``; the
+    final partial wave leaves slots idle.
+    """
+    if n_blocks <= 0:
+        return 1.0
+    slots = device.block_slots
+    waves = -(-n_blocks // slots)
+    return n_blocks / (waves * slots)
+
+
+def short_k_efficiency(k: int, k_half_sat: float) -> float:
+    """Main-loop pipeline efficiency ``k / (k + k_half)`` (≤ 1)."""
+    if k <= 0:
+        return 0.0
+    return k / (k + k_half_sat)
+
+
+def l2_reread_factor(panel_bytes: float, passes: int, l2_bytes: int) -> float:
+    """How many times a shared operand panel is fetched from DRAM.
+
+    A panel read by ``passes`` consumers is fetched once if it fits in
+    (half of) L2 and proportionally more as it exceeds it, capped at one
+    fetch per pass.  The square-root growth models CUTLASS-style block
+    swizzling, which keeps the working set partially resident.
+    """
+    if passes <= 1 or panel_bytes <= 0:
+        return 1.0
+    half_l2 = l2_bytes / 2
+    if panel_bytes <= half_l2:
+        return 1.0
+    return float(min(passes, (panel_bytes / half_l2) ** 0.5))
+
+
+def roofline_us(flops: float, effective_flops: float, bytes_moved: float, bandwidth: float) -> tuple[float, float]:
+    """Return ``(compute_us, memory_us)`` for one kernel."""
+    compute_us = flops / effective_flops * 1e6 if effective_flops > 0 else 0.0
+    memory_us = bytes_moved / bandwidth * 1e6 if bandwidth > 0 else 0.0
+    return compute_us, memory_us

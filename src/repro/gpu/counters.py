@@ -1,0 +1,58 @@
+"""Performance-counter reporting for Fig. 11.
+
+Fig. 11 plots, against TW sparsity, the latency speedup plus three counters
+normalised to the dense model: global load transactions, global store
+transactions, and FLOPS efficiency (measured FLOPS over tensor-core peak).
+This module turns engine :class:`~repro.gpu.costmodel.CostBreakdown` objects
+into those normalised rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.costmodel import CostBreakdown
+from repro.gpu.device import DeviceSpec, V100
+
+__all__ = ["CounterRow", "normalized_counters"]
+
+
+@dataclass(frozen=True)
+class CounterRow:
+    """One Fig. 11 sample: speedup + counters for a sparse configuration."""
+
+    label: str
+    speedup: float
+    load_transactions_rel: float
+    store_transactions_rel: float
+    flops_efficiency: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        """Serializable row (for benchmark JSON output)."""
+        return {
+            "label": self.label,
+            "speedup": self.speedup,
+            "load_transactions_rel": self.load_transactions_rel,
+            "store_transactions_rel": self.store_transactions_rel,
+            "flops_efficiency": self.flops_efficiency,
+        }
+
+
+def normalized_counters(
+    sparse: CostBreakdown,
+    dense: CostBreakdown,
+    device: DeviceSpec = V100,
+    label: str = "",
+) -> CounterRow:
+    """Normalise a sparse run's counters against its dense baseline."""
+    if dense.total_us <= 0:
+        raise ValueError("dense baseline has zero latency")
+    dl = dense.counters.load_transactions
+    ds = dense.counters.store_transactions
+    return CounterRow(
+        label=label or sparse.label,
+        speedup=dense.total_us / sparse.total_us if sparse.total_us > 0 else float("inf"),
+        load_transactions_rel=sparse.counters.load_transactions / dl if dl > 0 else 0.0,
+        store_transactions_rel=sparse.counters.store_transactions / ds if ds > 0 else 0.0,
+        flops_efficiency=sparse.flops_efficiency(device.tensor_core_flops),
+    )

@@ -1,0 +1,89 @@
+"""Dense GEMM cost on CUDA cores (the FP32 "Dense-C" baseline).
+
+Same structure as the tensor-core engine but against the 15.7 TFLOPS FP32
+peak with FP32 operands (the paper runs all CUDA-core inference in FP32,
+§VII-A).  Short-K saturation is gentler because the SIMT pipeline has no
+MMA fragment to fill.
+"""
+
+from __future__ import annotations
+
+from repro.core.tiling import TileConfig
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.gpu.costmodel import (
+    CostBreakdown,
+    PerfCounters,
+    l2_reread_factor,
+    roofline_us,
+    short_k_efficiency,
+    tile_quantization,
+    wave_efficiency,
+)
+from repro.gpu.device import DeviceSpec, V100
+from repro.gpu.tensor_core import CANDIDATE_TILES, _tile_size_factor
+
+__all__ = ["dense_gemm_cuda_cost"]
+
+#: CUDA-core SGEMM saturates its pipeline with a much shorter main loop.
+_CUDA_K_HALF_SAT = 24.0
+
+
+def _tile_efficiency(
+    m: int, n: int, k: int, tile: TileConfig, device: DeviceSpec, calib: Calibration
+) -> float:
+    gm, gn = tile.grid(m, n)
+    return (
+        calib.cuda_dense_efficiency
+        * _tile_size_factor(tile)
+        * tile_quantization(m, n, tile.ty, tile.g)
+        * wave_efficiency(gm * gn, device)
+        * short_k_efficiency(k, _CUDA_K_HALF_SAT)
+    )
+
+
+def dense_gemm_cuda_cost(
+    m: int,
+    n: int,
+    k: int,
+    device: DeviceSpec = V100,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    tile: TileConfig | None = None,
+    dtype_bytes: int = 4,
+) -> CostBreakdown:
+    """Price ``C(M×N) = A(M×K) @ B(K×N)`` on CUDA cores (FP32 default)."""
+    if m < 0 or n < 0 or k < 0:
+        raise ValueError(f"negative GEMM extent ({m}, {n}, {k})")
+    if m == 0 or n == 0 or k == 0:
+        return CostBreakdown(kernels=0, label="dense-cuda")
+    if tile is None:
+        tile = max(
+            CANDIDATE_TILES,
+            key=lambda t: _tile_efficiency(m, n, k, t, device, calib),
+        )
+    eff = _tile_efficiency(m, n, k, tile, device, calib)
+    flops = 2.0 * m * n * k
+
+    gm, gn = tile.grid(m, n)
+    a_bytes = m * k * dtype_bytes
+    b_bytes = k * n * dtype_bytes
+    loads = a_bytes * l2_reread_factor(a_bytes, gn, device.l2_cache_bytes) + (
+        b_bytes * l2_reread_factor(b_bytes, gm, device.l2_cache_bytes)
+    )
+    stores = float(m * n * dtype_bytes)
+
+    compute_us, memory_us = roofline_us(
+        flops, device.cuda_core_flops * eff, loads + stores, device.mem_bandwidth
+    )
+    return CostBreakdown(
+        compute_us=compute_us,
+        memory_us=memory_us,
+        launch_us=device.kernel_launch_us,
+        kernels=1,
+        counters=PerfCounters(
+            flops=flops,
+            bytes_loaded=loads,
+            bytes_stored=stores,
+            sector_bytes=device.sector_bytes,
+        ),
+        label="dense-cuda",
+    )

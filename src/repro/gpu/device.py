@@ -1,0 +1,112 @@
+"""Device specifications for the latency simulator.
+
+The defaults describe the paper's Tesla V100 (SXM2): 80 SMs, 125 TFLOPS
+FP16 tensor-core peak, 15.7 TFLOPS FP32 CUDA-core peak (§VII-A), 900 GB/s
+HBM2, 6 MB L2.  T4 and A100 variants are provided for the "TW on other
+platforms" discussion (§VIII) and for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "V100", "T4", "A100"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters consumed by the cost models.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    sm_count:
+        Streaming multiprocessors; one thread block of the paper's GEMM
+        occupies one SM slot.
+    tensor_core_tflops:
+        Peak FP16 tensor-core throughput (TFLOPS).
+    cuda_core_tflops:
+        Peak FP32 CUDA-core throughput (TFLOPS).
+    mem_bandwidth_gbs:
+        Peak DRAM bandwidth (GB/s).
+    l2_cache_bytes:
+        L2 capacity — controls operand re-read traffic in the GEMM model.
+    kernel_launch_us:
+        Fixed host-side cost per kernel launch.
+    max_concurrent_streams:
+        Streams the scheduler may overlap (paper §VI uses CUDA streams).
+    blocks_per_sm:
+        Resident thread blocks per SM for the GEMM kernels (occupancy).
+    sector_bytes:
+        Memory transaction granularity (32 B on Volta) — converts byte
+        traffic to the load/store *transaction* counters of Fig. 11.
+    """
+
+    name: str
+    sm_count: int = 80
+    tensor_core_tflops: float = 125.0
+    cuda_core_tflops: float = 15.7
+    mem_bandwidth_gbs: float = 900.0
+    l2_cache_bytes: int = 6 * 1024 * 1024
+    kernel_launch_us: float = 5.0
+    max_concurrent_streams: int = 8
+    blocks_per_sm: int = 2
+    sector_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        numeric = (
+            self.sm_count,
+            self.tensor_core_tflops,
+            self.cuda_core_tflops,
+            self.mem_bandwidth_gbs,
+            self.l2_cache_bytes,
+            self.max_concurrent_streams,
+            self.blocks_per_sm,
+            self.sector_bytes,
+        )
+        if any(v <= 0 for v in numeric):
+            raise ValueError(f"device parameters must be positive: {self}")
+        if self.kernel_launch_us < 0:
+            raise ValueError("kernel_launch_us must be non-negative")
+
+    @property
+    def tensor_core_flops(self) -> float:
+        """Tensor-core peak in FLOP/s."""
+        return self.tensor_core_tflops * 1e12
+
+    @property
+    def cuda_core_flops(self) -> float:
+        """CUDA-core peak in FLOP/s."""
+        return self.cuda_core_tflops * 1e12
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """DRAM bandwidth in B/s."""
+        return self.mem_bandwidth_gbs * 1e9
+
+    @property
+    def block_slots(self) -> int:
+        """Concurrent thread-block slots across the device."""
+        return self.sm_count * self.blocks_per_sm
+
+
+V100 = DeviceSpec(name="Tesla V100-SXM2")
+
+T4 = DeviceSpec(
+    name="Tesla T4",
+    sm_count=40,
+    tensor_core_tflops=65.0,
+    cuda_core_tflops=8.1,
+    mem_bandwidth_gbs=320.0,
+    l2_cache_bytes=4 * 1024 * 1024,
+)
+
+A100 = DeviceSpec(
+    name="A100-SXM4",
+    sm_count=108,
+    tensor_core_tflops=312.0,
+    cuda_core_tflops=19.5,
+    mem_bandwidth_gbs=1555.0,
+    l2_cache_bytes=40 * 1024 * 1024,
+)

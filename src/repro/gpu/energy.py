@@ -1,0 +1,83 @@
+"""Energy estimation over cost breakdowns (paper §VIII, related work).
+
+The paper positions TW against energy-oriented pruning (Yang et al.) with
+the observation that "our work removes redundant computations and thus
+could also reduce energy consumption".  This module quantifies that claim
+with the standard event-energy model used by GPU power studies
+(GPUWattch [29] is the paper's own citation for GPU energy analysis):
+
+    E = flops · e_flop + bytes · e_dram + t_busy · P_static
+
+Per-event energies follow published V100-class figures: ~0.4 pJ per FP16
+MAC lane operation at the tensor core (≈0.2 pJ/flop), ~20 pJ/byte for HBM2
+access, and ~80 W static/idle draw.  As with latency, relative comparisons
+are the claim, not absolute joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.costmodel import CostBreakdown
+
+__all__ = ["EnergyModel", "EnergyEstimate", "V100_ENERGY"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy coefficients.
+
+    Attributes
+    ----------
+    pj_per_flop:
+        Dynamic energy per floating-point operation (pJ).
+    pj_per_dram_byte:
+        Dynamic energy per DRAM byte moved (pJ).
+    static_watts:
+        Constant draw charged for the kernel's busy time.
+    """
+
+    pj_per_flop: float = 0.2
+    pj_per_dram_byte: float = 20.0
+    static_watts: float = 80.0
+
+    def __post_init__(self) -> None:
+        if min(self.pj_per_flop, self.pj_per_dram_byte, self.static_watts) < 0:
+            raise ValueError(f"energy coefficients must be non-negative: {self}")
+
+    def estimate(self, cost: CostBreakdown) -> "EnergyEstimate":
+        """Energy of one kernel/sequence priced by a cost model."""
+        compute_j = cost.counters.flops * self.pj_per_flop * 1e-12
+        memory_j = (
+            (cost.counters.bytes_loaded + cost.counters.bytes_stored)
+            * self.pj_per_dram_byte
+            * 1e-12
+        )
+        static_j = self.static_watts * cost.total_us * 1e-6
+        return EnergyEstimate(
+            compute_j=compute_j, memory_j=memory_j, static_j=static_j
+        )
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy decomposition of one execution."""
+
+    compute_j: float
+    memory_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total estimated energy."""
+        return self.compute_j + self.memory_j + self.static_j
+
+    def savings_vs(self, baseline: "EnergyEstimate") -> float:
+        """Fractional energy saved relative to ``baseline`` (positive =
+        this execution uses less energy)."""
+        if baseline.total_j <= 0:
+            raise ValueError("baseline energy must be positive")
+        return 1.0 - self.total_j / baseline.total_j
+
+
+V100_ENERGY = EnergyModel()

@@ -1,0 +1,89 @@
+"""Sparse-tensor-core cost model — the hardware VW needs (Zhu et al.).
+
+The paper's framing of vector-wise sparsity (§II-B, §VIII): VW only pays
+off on the *modified* tensor core of Zhu et al. (MICRO'19), which skips the
+pruned elements of each fixed-quota vector in hardware — "prior work [70]
+reports a 1.5× speedup using the VW pattern, which requires non-negligible
+modifications of the tensor core."
+
+This engine models that hypothetical hardware so the repository can show
+the full comparison: VW on commodity hardware (cuSparse, slower than
+dense), VW on its bespoke hardware (~1.5×), and TW on *unmodified* hardware
+(~2×) — the paper's software-only pitch in one table.
+
+Model: the sparse tensor core executes only the surviving
+``(1 − s)`` fraction of MACs, at a relative efficiency
+``stc_relative_efficiency`` of the dense pipeline (metadata decode,
+operand-gather muxing and vector-quota scheduling overheads), plus int
+metadata traffic of ``ceil(log2(vector_size))`` bits per surviving element.
+The default efficiency is calibrated so VW at 75 % sparsity lands at the
+reported ~1.5×.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.gpu.costmodel import CostBreakdown, PerfCounters, roofline_us, short_k_efficiency
+from repro.gpu.device import DeviceSpec, V100
+
+__all__ = ["STC_RELATIVE_EFFICIENCY", "vw_sparse_tc_cost"]
+
+#: Sparse-tensor-core pipeline efficiency relative to the dense tensor core,
+#: calibrated to Zhu et al.'s reported ~1.5x end speedup at ~75% VW sparsity
+#: (0.25 remaining work / 0.37 relative efficiency ≈ 1/1.48).
+STC_RELATIVE_EFFICIENCY = 0.37
+
+
+def vw_sparse_tc_cost(
+    m: int,
+    k: int,
+    n: int,
+    sparsity: float,
+    vector_size: int = 16,
+    device: DeviceSpec = V100,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    stc_relative_efficiency: float = STC_RELATIVE_EFFICIENCY,
+    dtype_bytes: int = 2,
+) -> CostBreakdown:
+    """Price ``Y(M×N) = X(M×K) @ W`` with VW-sparse ``W`` on the modified
+    tensor core of Zhu et al.
+
+    ``sparsity`` must be expressible as a fixed per-vector quota (any value
+    is accepted; the hardware rounds the quota per vector).
+    """
+    if min(m, k, n) < 0:
+        raise ValueError(f"negative GEMM extent ({m}, {k}, {n})")
+    if not (0.0 <= sparsity <= 1.0):
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    if vector_size <= 0:
+        raise ValueError(f"vector_size must be positive, got {vector_size}")
+    if m == 0 or n == 0 or k == 0:
+        return CostBreakdown(kernels=0, label="sparse-tc")
+    keep = 1.0 - sparsity
+    useful_flops = 2.0 * m * n * k * keep
+    eff = (
+        calib.tc_dense_efficiency
+        * stc_relative_efficiency
+        * short_k_efficiency(max(int(k * keep), 1), calib.tc_k_half_sat)
+    )
+    # surviving values + per-element vector-offset metadata (1 byte covers
+    # vector sizes up to 256) + dense activations + output
+    nnz = k * n * keep
+    loads = nnz * dtype_bytes + nnz * 1.0 + m * k * dtype_bytes
+    stores = float(m * n * dtype_bytes)
+    compute_us, memory_us = roofline_us(
+        useful_flops, device.tensor_core_flops * eff, loads + stores, device.mem_bandwidth
+    )
+    return CostBreakdown(
+        compute_us=compute_us,
+        memory_us=memory_us,
+        launch_us=device.kernel_launch_us,
+        kernels=1,
+        counters=PerfCounters(
+            flops=useful_flops,
+            bytes_loaded=float(loads),
+            bytes_stored=stores,
+            sector_bytes=device.sector_bytes,
+        ),
+        label="sparse-tc",
+    )

@@ -1,0 +1,67 @@
+"""Stream concurrency and load-balance modelling (paper §VI, Fig. 7 step 4).
+
+TW tiles have unequal work; launched naively one kernel per batch, a small
+batch leaves most SMs idle.  The paper assigns batches to CUDA streams and
+lets the hardware scheduler interleave their thread blocks.  We model the
+device as ``block_slots`` identical workers and compute makespans:
+
+- **sequential**: kernels run back to back; each kernel's makespan is taken
+  in isolation (idle slots wasted — the "Naive Stream" row of Fig. 7).
+- **concurrent**: all blocks from all streams form one pool scheduled by
+  longest-processing-time (LPT) greedy — a 4/3-approximation of the optimal
+  makespan, which is how a work-stealing hardware scheduler behaves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["lpt_makespan", "sequential_makespan", "concurrent_makespan"]
+
+
+def lpt_makespan(task_times_us: Sequence[float], n_workers: int) -> float:
+    """Longest-processing-time-first greedy makespan on identical workers."""
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    tasks = sorted((t for t in task_times_us if t > 0), reverse=True)
+    if not tasks:
+        return 0.0
+    if len(tasks) <= n_workers:
+        return tasks[0]
+    heap = [0.0] * n_workers
+    for t in tasks:
+        heapq.heappush(heap, heapq.heappop(heap) + t)
+    return max(heap)
+
+
+def sequential_makespan(
+    kernel_block_times: Sequence[Sequence[float]], device: DeviceSpec
+) -> float:
+    """Kernels executed back to back, each scheduled on the full device."""
+    return sum(lpt_makespan(blocks, device.block_slots) for blocks in kernel_block_times)
+
+
+def concurrent_makespan(
+    kernel_block_times: Sequence[Sequence[float]], device: DeviceSpec
+) -> float:
+    """All kernels' blocks pooled through streams (bounded by stream count).
+
+    With fewer kernels than ``max_concurrent_streams`` everything pools; with
+    more, kernels are round-robined into stream groups and the groups run
+    back to back (the scheduler cannot overlap more streams than exist).
+    """
+    n = len(kernel_block_times)
+    if n == 0:
+        return 0.0
+    s = device.max_concurrent_streams
+    if n <= s:
+        pooled = [t for blocks in kernel_block_times for t in blocks]
+        return lpt_makespan(pooled, device.block_slots)
+    total = 0.0
+    for g0 in range(0, n, s):
+        pooled = [t for blocks in kernel_block_times[g0 : g0 + s] for t in blocks]
+        total += lpt_makespan(pooled, device.block_slots)
+    return total

@@ -1,0 +1,156 @@
+"""TPU-like systolic-array cost model (paper §VIII "TW on Other Platforms").
+
+The paper argues TW is feasible on any GEMM accelerator with a medium tile
+size: "TW with G = 128 ... implies the requirement of 128×N×128 GEMM.  The
+latest TPU adopts a relatively large systolic array (128×128), which meets
+the aforementioned requirement.  However, it only exposes high-level
+programming interfaces ... which makes the other optimization like
+streaming concurrency difficult."
+
+This engine makes that argument quantitative:
+
+- a weight-stationary 128×128 array computes a GEMM as
+  ``ceil(K/128) · ceil(N/128)`` weight-tile passes, each streaming the M
+  activation rows through the array (+ pipeline fill/drain);
+- a TW tile of ``kt × nt`` occupies the array for ``ceil(kt/128) ·
+  ceil(nt/128)`` passes regardless of how much of the array it fills —
+  row pruning only pays off in 128-row quanta, and G must equal the array
+  width for column pruning to pay at all;
+- passes are strictly sequential (no stream concurrency on the high-level
+  interface).
+
+Consequence (asserted in tests): TW-on-TPU accelerates, but less than
+TW-on-GPU at equal sparsity — exactly the paper's cautious feasibility
+claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.costmodel import CostBreakdown, PerfCounters
+from repro.gpu.tw_kernel import TWShapeStats
+
+__all__ = ["SystolicSpec", "TPU_V3_LIKE", "dense_gemm_systolic_cost", "tw_gemm_systolic_cost"]
+
+
+@dataclass(frozen=True)
+class SystolicSpec:
+    """A weight-stationary systolic array accelerator.
+
+    Attributes
+    ----------
+    array_dim:
+        Square array edge (128 on TPU v2/v3).
+    frequency_ghz:
+        MAC clock.
+    mem_bandwidth_gbs:
+        Off-chip bandwidth for operand streaming.
+    pass_setup_us:
+        Fixed cost per weight-tile pass inside one fused operation (weight
+        load + fill/drain beyond the pipeline term).
+    tile_dispatch_us:
+        Fixed cost per *separately dispatched* GEMM through the high-level
+        programming interface.  A dense GEMM is one fused op (one
+        dispatch); every TW tile is its own variable-shape GEMM call, and
+        the interface exposes no stream concurrency to hide the dispatches
+        — the §VIII limitation that keeps TW-on-TPU below TW-on-GPU.
+    """
+
+    name: str = "tpu-v3-like"
+    array_dim: int = 128
+    frequency_ghz: float = 0.94
+    mem_bandwidth_gbs: float = 900.0
+    pass_setup_us: float = 2.0
+    tile_dispatch_us: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.array_dim <= 0 or self.frequency_ghz <= 0 or self.mem_bandwidth_gbs <= 0:
+            raise ValueError(f"invalid systolic spec {self}")
+        if self.pass_setup_us < 0 or self.tile_dispatch_us < 0:
+            raise ValueError("setup/dispatch costs must be non-negative")
+
+    @property
+    def peak_flops(self) -> float:
+        """2 · dim² MACs per cycle."""
+        return 2.0 * self.array_dim**2 * self.frequency_ghz * 1e9
+
+
+TPU_V3_LIKE = SystolicSpec()
+
+
+def _pass_us(m: int, spec: SystolicSpec) -> float:
+    """One weight-tile pass: stream M rows + fill/drain of 2·dim cycles."""
+    cycles = m + 2 * spec.array_dim
+    return cycles / (spec.frequency_ghz * 1e9) * 1e6 + spec.pass_setup_us
+
+
+def dense_gemm_systolic_cost(
+    m: int, n: int, k: int, spec: SystolicSpec = TPU_V3_LIKE, dtype_bytes: int = 2
+) -> CostBreakdown:
+    """Price a dense ``M×N×K`` GEMM on the systolic array."""
+    if min(m, n, k) < 0:
+        raise ValueError(f"negative GEMM extent ({m}, {n}, {k})")
+    if m == 0 or n == 0 or k == 0:
+        return CostBreakdown(kernels=0, label="systolic-dense")
+    d = spec.array_dim
+    passes = -(-k // d) * -(-n // d)
+    compute_us = passes * _pass_us(m, spec)
+    loads = float((m * k + k * n) * dtype_bytes)
+    stores = float(m * n * dtype_bytes)
+    memory_us = (loads + stores) / (spec.mem_bandwidth_gbs * 1e9) * 1e6
+    return CostBreakdown(
+        compute_us=compute_us,
+        memory_us=memory_us,
+        launch_us=spec.tile_dispatch_us,  # one fused op
+        kernels=passes,
+        counters=PerfCounters(
+            flops=2.0 * m * n * k, bytes_loaded=loads, bytes_stored=stores
+        ),
+        label="systolic-dense",
+    )
+
+
+def tw_gemm_systolic_cost(
+    m: int,
+    shape: TWShapeStats,
+    spec: SystolicSpec = TPU_V3_LIKE,
+    dtype_bytes: int = 2,
+) -> CostBreakdown:
+    """Price a TW-pruned GEMM on the systolic array.
+
+    Every tile costs ``ceil(kt/dim) · ceil(nt/dim)`` sequential passes; the
+    array cannot be partially re-used across tiles, so sub-``dim`` tile
+    extents waste the remainder of the pass — the quantisation that makes
+    ``G = array_dim`` the only efficient granularity (paper §VIII).
+    """
+    if m < 0:
+        raise ValueError(f"negative M {m}")
+    if m == 0 or shape.n_tiles == 0 or shape.kept_elements == 0:
+        return CostBreakdown(kernels=0, label="systolic-tw")
+    d = spec.array_dim
+    passes = 0
+    dispatched_tiles = 0
+    for kt, nt in shape.tiles:
+        if kt == 0 or nt == 0:
+            continue
+        passes += -(-kt // d) * -(-nt // d)
+        dispatched_tiles += 1
+    compute_us = passes * _pass_us(m, spec)
+    sum_kt = sum(kt for kt, _ in shape.tiles)
+    sum_nt = sum(nt for _, nt in shape.tiles)
+    loads = float((m * sum_kt + shape.kept_elements) * dtype_bytes)
+    stores = float(m * sum_nt * dtype_bytes)
+    memory_us = (loads + stores) / (spec.mem_bandwidth_gbs * 1e9) * 1e6
+    return CostBreakdown(
+        compute_us=compute_us,
+        memory_us=memory_us,
+        launch_us=dispatched_tiles * spec.tile_dispatch_us,  # one op per tile
+        kernels=passes,
+        counters=PerfCounters(
+            flops=2.0 * m * shape.kept_elements,
+            bytes_loaded=loads,
+            bytes_stored=stores,
+        ),
+        label="systolic-tw",
+    )

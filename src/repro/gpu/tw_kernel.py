@@ -1,0 +1,311 @@
+"""Cost model of the paper's TW masked/batched/streamed GEMM (§VI, Fig. 7).
+
+Execution structure being priced
+--------------------------------
+Each TW tile is a small dense GEMM of shape ``(M × K_t) · (K_t × N_t)``,
+executed as ``ceil(M/Ty)`` thread blocks.  Three optimisations (each
+individually switchable, for the Fig. 15 ablation):
+
+- **transpose** — tiles stored transposed so masked row-skipping stays
+  coalesced; without it, A/C traffic pays the uncoalesced penalty and the
+  GEMM "cannot benefit from the high sparsity" (paper Fig. 15);
+- **batching** — equal-width tiles share one kernel launch (Fig. 7 step 3);
+- **streams** — kernels run in concurrent streams so their blocks pool
+  across SMs (Fig. 7 step 4), recovering the load imbalance of unequal
+  tiles.
+
+Latency composition
+-------------------
+The masked A-tile gather (``Load_A_Tile_with_Mask``) is a dependent
+mask → index → load chain executed every main-loop iteration, which the MMA
+pipeline cannot hide; it is modelled as a multiplicative per-block stall
+(:attr:`Calibration.tw_masked_load_stall`).  Because the stall rides *with*
+the main loop, it shrinks as pruning shrinks the loop — reproducing the
+paper's observation that the ≈2× load transactions at zero sparsity cost
+≈35 % latency (Fig. 11) yet the kernel still reaches 11.6× at 99 %.
+The DRAM-traffic leg then combines with compute as a roofline max, exactly
+like the dense engines.
+
+Memory traffic terms (per Fig. 7's data flow):
+
+- B payloads: each compact tile streamed once;
+- A panels: every tile re-reads the activation rows it needs; an L2 factor
+  (:attr:`Calibration.tw_a_reread_l2_factor`) absorbs partial reuse;
+- masks: int32 ``mask_k``/``mask_n`` words fetched per thread block
+  (:attr:`Calibration.tw_mask_bytes_factor` models their poor coalescing);
+- C stores: one dense store per surviving output column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tile_sparsity import split_stage_sparsity
+from repro.formats.tiled import TiledTWMatrix
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.gpu.costmodel import CostBreakdown, PerfCounters, short_k_efficiency
+from repro.gpu.device import DeviceSpec, V100
+from repro.gpu.streams import concurrent_makespan, sequential_makespan
+
+__all__ = ["TWExecutionOptions", "TWShapeStats", "tw_gemm_cost"]
+
+
+@dataclass(frozen=True)
+class TWExecutionOptions:
+    """Switches for the paper's three implementation optimisations.
+
+    ``engine`` selects tensor cores (FP16, the paper's main path) or CUDA
+    cores (FP32 — the Fig. 10b / Fig. 14 right-column comparisons; the
+    paper reports 2.86× average TW speedup there).
+    """
+
+    transpose: bool = True
+    batching: bool = True
+    streams: bool = True
+    engine: str = "tensor_core"
+    dtype_bytes: int | None = None
+    ty: int = 128
+
+    def __post_init__(self) -> None:
+        if self.ty <= 0:
+            raise ValueError(f"ty must be positive, got {self.ty}")
+        if self.engine not in ("tensor_core", "cuda_core"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.dtype_bytes is not None and self.dtype_bytes <= 0:
+            raise ValueError(f"dtype_bytes must be positive, got {self.dtype_bytes}")
+
+    @property
+    def resolved_dtype_bytes(self) -> int:
+        """FP16 on tensor cores, FP32 on CUDA cores, unless overridden."""
+        if self.dtype_bytes is not None:
+            return self.dtype_bytes
+        return 2 if self.engine == "tensor_core" else 4
+
+
+@dataclass(frozen=True)
+class TWShapeStats:
+    """Geometry of one TW-pruned weight matrix, as the cost model sees it.
+
+    ``tiles`` holds ``(kept_k, kept_n)`` per tile.  Built either from a real
+    :class:`~repro.formats.tiled.TiledTWMatrix` or synthetically (for
+    latency sweeps at arbitrary sparsity without running the pruner).
+    """
+
+    k: int
+    n: int
+    granularity: int
+    tiles: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.k < 0 or self.n < 0:
+            raise ValueError(f"negative shape ({self.k}, {self.n})")
+        if self.granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {self.granularity}")
+        for i, (kt, nt) in enumerate(self.tiles):
+            if kt < 0 or nt < 0 or kt > self.k or nt > self.granularity:
+                raise ValueError(f"tile {i} out of range: ({kt}, {nt})")
+
+    @classmethod
+    def from_matrix(cls, tw: TiledTWMatrix) -> "TWShapeStats":
+        """Extract geometry from a compacted TW matrix."""
+        return cls(
+            k=tw.shape[0],
+            n=tw.shape[1],
+            granularity=tw.granularity,
+            tiles=tuple((t.kept_k, t.kept_n) for t in tw.tiles),
+        )
+
+    @classmethod
+    def synthetic(
+        cls,
+        k: int,
+        n: int,
+        granularity: int,
+        sparsity: float,
+        col_row_split: float = 0.5,
+        imbalance_cv: float = 0.25,
+        seed: int = 0,
+    ) -> "TWShapeStats":
+        """Generate tile geometry at a target sparsity.
+
+        Column pruning keeps ``(1-s)^split`` of columns (grouped ``G`` at a
+        time after reorganisation); per-tile kept depths follow a clipped
+        lognormal with coefficient of variation ``imbalance_cv`` around the
+        mean, rescaled to land on the target overall sparsity — mirroring
+        the uneven tiles real pruning produces (paper Fig. 5).
+        """
+        if not (0.0 <= sparsity <= 1.0):
+            raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+        if sparsity >= 1.0:
+            return cls(k=k, n=n, granularity=granularity, tiles=())
+        s_col, s_row = split_stage_sparsity(sparsity, col_row_split)
+        kept_cols = max(1, int(round(n * (1.0 - s_col))))
+        widths = []
+        remaining = kept_cols
+        while remaining > 0:
+            w = min(granularity, remaining)
+            widths.append(w)
+            remaining -= w
+        mean_k = max(1.0, k * (1.0 - s_row))
+        rng = np.random.default_rng(seed)
+        if imbalance_cv > 0 and len(widths) > 1:
+            sigma = float(np.sqrt(np.log1p(imbalance_cv**2)))
+            mult = rng.lognormal(mean=-sigma * sigma / 2.0, sigma=sigma, size=len(widths))
+        else:
+            mult = np.ones(len(widths))
+        depths = np.clip(np.round(mean_k * mult), 1, k).astype(np.int64)
+        # rescale once so Σ kt·nt tracks the target kept elements
+        target_kept = (1.0 - sparsity) * k * n
+        got = float(np.dot(depths, widths))
+        if got > 0:
+            depths = np.clip(np.round(depths * (target_kept / got)), 1, k).astype(np.int64)
+        return cls(
+            k=k,
+            n=n,
+            granularity=granularity,
+            tiles=tuple((int(d), int(w)) for d, w in zip(depths, widths)),
+        )
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of compact tiles."""
+        return len(self.tiles)
+
+    @property
+    def kept_elements(self) -> int:
+        """Surviving weight elements."""
+        return sum(kt * nt for kt, nt in self.tiles)
+
+    @property
+    def sparsity(self) -> float:
+        """Implied element sparsity."""
+        total = self.k * self.n
+        return 1.0 - self.kept_elements / total if total else 0.0
+
+    def width_groups(self) -> dict[int, list[int]]:
+        """Tile indices grouped by width (the batching key)."""
+        groups: dict[int, list[int]] = {}
+        for i, (_, nt) in enumerate(self.tiles):
+            groups.setdefault(nt, []).append(i)
+        return groups
+
+
+def _tile_efficiency(kt: int, nt: int, calib: Calibration, engine: str) -> float:
+    """Per-block efficiency of one tile (no wave effects here — the
+    makespan scheduler accounts for machine fill).
+
+    The width-saturation term is normalised to 1.0 at G=128 so that
+    ``tw_efficiency_vs_dense`` and ``tw_masked_load_stall`` alone set the
+    TW-vs-dense gap at the recommended granularity; narrower tiles degrade
+    from there (Fig. 9b's G=64 < G=128 ordering).
+
+    On CUDA cores the SIMT pipeline tolerates short reductions and narrow
+    tiles far better than the MMA pipeline (no 16-wide fragments to fill),
+    so the saturation constants relax — which is why the paper measures a
+    *larger* relative TW speedup on CUDA cores (2.86× vs 1.95×).
+    """
+    if nt <= 0 or kt <= 0:
+        return 0.0
+    if engine == "tensor_core":
+        base = calib.tc_dense_efficiency
+        k_half = calib.tc_k_half_sat
+        h = calib.tw_g_half_sat
+    else:
+        base = calib.cuda_dense_efficiency
+        k_half = 24.0  # matches cuda_core engine's saturation
+        h = calib.tw_g_half_sat / 2.0
+    g_sat = min(1.0, (nt / (nt + h)) * ((128.0 + h) / 128.0))
+    # The masked A-tile gather is issued per surviving K-row and amortised
+    # across the tile's nt output columns, so narrow tiles pay proportionally
+    # more stall per FLOP — the mechanism behind Fig. 9b's G=64 < G=128
+    # ordering (and why the paper does not even plot G=8 latency).
+    stall = calib.tw_masked_load_stall * (128.0 / nt)
+    return (
+        base
+        * calib.tw_efficiency_vs_dense
+        * g_sat
+        * short_k_efficiency(kt, k_half)
+        / (1.0 + stall)
+    )
+
+
+def tw_gemm_cost(
+    m: int,
+    shape: TWShapeStats | TiledTWMatrix,
+    device: DeviceSpec = V100,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    options: TWExecutionOptions | None = None,
+) -> CostBreakdown:
+    """Price ``Y(M×N) = X(M×K) @ W`` for a TW-compacted ``W``."""
+    if isinstance(shape, TiledTWMatrix):
+        shape = TWShapeStats.from_matrix(shape)
+    options = options or TWExecutionOptions()
+    if m < 0:
+        raise ValueError(f"negative M {m}")
+    if m == 0 or shape.n_tiles == 0 or shape.kept_elements == 0:
+        return CostBreakdown(kernels=0, label="tw")
+
+    ty = options.ty
+    b = options.resolved_dtype_bytes
+    gm = -(-m // ty)
+    peak = (
+        device.tensor_core_flops
+        if options.engine == "tensor_core"
+        else device.cuda_core_flops
+    )
+    per_slot_flops = peak / device.block_slots
+
+    # ---- compute leg: per-block times scheduled over SM slots ---- #
+    block_times_per_tile: list[float] = []
+    for kt, nt in shape.tiles:
+        if kt == 0 or nt == 0:
+            block_times_per_tile.append(0.0)
+            continue
+        eff = _tile_efficiency(kt, nt, calib, options.engine)
+        block_flops = 2.0 * ty * kt * nt  # padded M rows execute regardless
+        block_times_per_tile.append(block_flops / (per_slot_flops * eff) * 1e6)
+
+    if options.batching:
+        groups = list(shape.width_groups().values())
+    else:
+        groups = [[i] for i in range(shape.n_tiles)]
+    kernel_block_times = [
+        [block_times_per_tile[i] for i in grp for _ in range(gm)] for grp in groups
+    ]
+    if options.streams:
+        compute_us = concurrent_makespan(kernel_block_times, device)
+    else:
+        compute_us = sequential_makespan(kernel_block_times, device)
+
+    # ---- memory leg: additive (masked loads are not hidden) ---- #
+    sum_kt = sum(kt for kt, _ in shape.tiles)
+    sum_nt = sum(nt for _, nt in shape.tiles)
+    a_traffic = m * sum_kt * b / calib.tw_a_reread_l2_factor
+    b_payload = float(shape.kept_elements * b)
+    mask_traffic = (
+        gm * sum(shape.k + nt for _, nt in shape.tiles) * 4.0 * calib.tw_mask_bytes_factor
+    )
+    stores = float(m * sum_nt * b)
+    if not options.transpose:
+        a_traffic *= calib.uncoalesced_penalty
+        stores *= calib.uncoalesced_penalty
+    loads = a_traffic + b_payload + mask_traffic
+    memory_us = (loads + stores) / device.mem_bandwidth * 1e6
+
+    launch_us = len(groups) * device.kernel_launch_us
+    useful_flops = 2.0 * m * shape.kept_elements
+    return CostBreakdown(
+        compute_us=compute_us,
+        memory_us=memory_us,
+        launch_us=launch_us,
+        kernels=len(groups),
+        counters=PerfCounters(
+            flops=useful_flops,
+            bytes_loaded=loads,
+            bytes_stored=stores,
+            sector_bytes=device.sector_bytes,
+        ),
+        label="tw",
+    )

@@ -1,0 +1,55 @@
+"""Functional (NumPy) kernels — correctness ground truth for every path.
+
+These kernels compute the *values* each execution path produces; latency
+comes from the matching cost models in :mod:`repro.gpu`.  Keeping function
+and cost separate lets tests pin numerical equivalence (e.g. TW masked GEMM
+≡ dense GEMM on the masked weights) independently of performance modelling.
+
+- :mod:`repro.kernels.dense` — reference and explicitly-tiled dense GEMM.
+- :mod:`repro.kernels.masked` — the paper's TW masked GEMM (Listing 1).
+- :mod:`repro.kernels.batched` — batched GEMM over equal-width tile groups.
+- :mod:`repro.kernels.spmm` — CSR/CSC sparse×dense products (cuSparse path).
+- :mod:`repro.kernels.block_sparse` — BSR GEMM (BlockSparse path).
+- :mod:`repro.kernels.im2col` — convolution→GEMM lowering.
+- :mod:`repro.kernels.transpose` — blocked layout transforms.
+- :mod:`repro.kernels.fusion` — fused non-GEMM epilogues.
+"""
+
+from repro.kernels.dense import gemm, tiled_gemm
+from repro.kernels.masked import masked_gemm, tw_gemm
+from repro.kernels.batched import batched_gemm, tw_batched_gemm
+from repro.kernels.spmm import csr_spmm, csc_left_spmm
+from repro.kernels.block_sparse import bsr_left_gemm
+from repro.kernels.im2col import col2im, conv2d_gemm, conv_output_shape, im2col
+from repro.kernels.transpose import blocked_transpose
+from repro.kernels.fusion import (
+    add_bias,
+    bias_gelu,
+    bias_layernorm,
+    bias_relu,
+    gelu,
+    layernorm,
+)
+
+__all__ = [
+    "gemm",
+    "tiled_gemm",
+    "masked_gemm",
+    "tw_gemm",
+    "batched_gemm",
+    "tw_batched_gemm",
+    "csr_spmm",
+    "csc_left_spmm",
+    "bsr_left_gemm",
+    "im2col",
+    "col2im",
+    "conv2d_gemm",
+    "conv_output_shape",
+    "blocked_transpose",
+    "add_bias",
+    "bias_relu",
+    "bias_gelu",
+    "bias_layernorm",
+    "gelu",
+    "layernorm",
+]

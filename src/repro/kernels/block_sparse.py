@@ -1,0 +1,20 @@
+"""Block-sparse GEMM — the BlockSparse-library execution path.
+
+The paper runs BW-pruned models through Tillet's torch-blocksparse on tensor
+cores (§VII-A).  The library multiplies only the surviving dense blocks;
+:func:`bsr_left_gemm` reproduces those values block by block and
+:mod:`repro.gpu.blocksparse` prices the execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.bsr import BSRMatrix
+
+__all__ = ["bsr_left_gemm"]
+
+
+def bsr_left_gemm(a: np.ndarray, weight: BSRMatrix) -> np.ndarray:
+    """Compute ``A @ W`` for a BSR weight, visiting only stored blocks."""
+    return weight.left_matmul_dense(a)

@@ -1,0 +1,131 @@
+"""im2col convolution lowering (paper §II-B, §VII-A).
+
+Convolutions dominate CNNs; GEMM accelerators run them by flattening every
+receptive field into a matrix row (``im2col``) so the convolution becomes
+``patches @ flattened_filters``.  The paper prunes VGG's weights *after*
+this lowering ("we prune its weight matrix after applying the im2col
+method"), so the CNN path of this library needs the lowering both for
+functional conv layers (:mod:`repro.nn.layers`) and for extracting VGG's
+GEMM shapes for the latency experiments.
+
+Layout conventions: activations ``NCHW``, filters ``OIHW``; the lowered
+weight matrix is ``(C·KH·KW) × O`` so it right-multiplies the patch matrix,
+matching Fig. 4's ``A × B`` orientation with the weight as ``B``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_shape", "im2col", "col2im", "conv2d_gemm", "lower_filters"]
+
+
+def conv_output_shape(
+    h: int, w: int, kh: int, kw: int, stride: int = 1, padding: int = 0
+) -> tuple[int, int]:
+    """Output spatial extent of a convolution."""
+    if kh <= 0 or kw <= 0 or stride <= 0 or padding < 0:
+        raise ValueError("kernel/stride must be positive, padding non-negative")
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel {kh}x{kw} with stride {stride}, padding {padding} "
+            f"does not fit input {h}x{w}"
+        )
+    return oh, ow
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Flatten receptive fields: ``NCHW → (N·OH·OW) × (C·KH·KW)``.
+
+    Vectorised with stride tricks — no Python loop over output positions.
+    """
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW input, got ndim={x.ndim}")
+    n, c, h, w = x.shape
+    oh, ow = conv_output_shape(h, w, kh, kw, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    sN, sC, sH, sW = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sN, sC, sH * stride, sW * stride, sH, sW),
+        writeable=False,
+    )
+    # (N, OH, OW, C, KH, KW) → rows are output positions, cols are C·KH·KW
+    patches = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(patches)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patch rows back to ``NCHW``.
+
+    Needed for convolution backward (gradient w.r.t. the input).
+    """
+    n, c, h, w = x_shape
+    oh, ow = conv_output_shape(h, w, kh, kw, stride, padding)
+    cols = np.asarray(cols)
+    if cols.shape != (n * oh * ow, c * kh * kw):
+        raise ValueError(
+            f"cols shape {cols.shape} != ({n * oh * ow}, {c * kh * kw})"
+        )
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    patches = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
+                patches[:, :, :, :, i, j]
+            )
+    if padding:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return out
+
+
+def lower_filters(weight: np.ndarray) -> np.ndarray:
+    """Flatten ``OIHW`` filters into the ``(C·KH·KW) × O`` GEMM weight.
+
+    This is the matrix the paper's VGG experiments prune — each column is
+    one filter, each row one input-patch coordinate.
+    """
+    weight = np.asarray(weight)
+    if weight.ndim != 4:
+        raise ValueError(f"expected OIHW filters, got ndim={weight.ndim}")
+    o = weight.shape[0]
+    return weight.reshape(o, -1).T.copy()
+
+
+def conv2d_gemm(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Convolution via im2col + GEMM: ``NCHW, OIHW → NOHW``."""
+    x = np.asarray(x)
+    weight = np.asarray(weight)
+    n, c, h, w = x.shape
+    o, ci, kh, kw = weight.shape
+    if ci != c:
+        raise ValueError(f"filter in-channels {ci} != input channels {c}")
+    oh, ow = conv_output_shape(h, w, kh, kw, stride, padding)
+    cols = im2col(x, kh, kw, stride, padding)
+    out = cols @ lower_filters(weight)  # (N·OH·OW) × O
+    if bias is not None:
+        if np.asarray(bias).shape != (o,):
+            raise ValueError(f"bias shape {np.asarray(bias).shape} != ({o},)")
+        out = out + bias
+    return out.reshape(n, oh, ow, o).transpose(0, 3, 1, 2)

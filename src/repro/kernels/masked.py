@@ -1,0 +1,88 @@
+"""TW masked GEMM — the functional analogue of the paper's Listing 1.
+
+The paper's ``StreamMaskedGEMM`` kernel computes one output tile per thread
+block, loading only the rows of ``A`` that survive the tile's ``mask_k``
+(``Load_A_Tile_with_Mask``) and scattering results through ``mask_n``
+(``Store_C_Tile_with_Mask``).  The functional equivalents here:
+
+- :func:`masked_gemm` — one tile: dense ``A`` panel × compact ``B`` panel
+  under explicit ``mask_k`` / column-index vectors;
+- :func:`tw_gemm` — the whole product ``A @ W`` for a
+  :class:`~repro.formats.tiled.TiledTWMatrix`, looping its tiles.
+
+Both are tested equivalent to dense GEMM against the mask-expanded weights,
+which is the core correctness claim of the TW execution scheme: *pruned
+rows/columns contribute exactly zero, so skipping them changes nothing*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.tiled import TiledTWMatrix
+
+__all__ = ["masked_gemm", "tw_gemm"]
+
+
+def masked_gemm(
+    a: np.ndarray,
+    b_compact: np.ndarray,
+    mask_k: np.ndarray,
+    col_indices: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Accumulate one TW tile's contribution into ``out`` (Listing 1 body).
+
+    Parameters
+    ----------
+    a:
+        Dense activations ``M×K`` (kept in dense layout; pruned rows are
+        *skipped*, not removed — paper §VI "Tiling").
+    b_compact:
+        The tile's compact payload ``kept_k × kept_n``.
+    mask_k:
+        ``bool[K]`` row survival mask (the kernel's ``mask_k``).
+    col_indices:
+        Original output columns of the tile (the kernel's ``mask_n``,
+        resolved to indices).
+    out:
+        Dense output ``M×N`` accumulated in place.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError("a must be 2-D")
+    mask_k = np.asarray(mask_k, dtype=bool)
+    if mask_k.shape != (a.shape[1],):
+        raise ValueError(f"mask_k length {mask_k.shape[0]} != K={a.shape[1]}")
+    rows = np.flatnonzero(mask_k)
+    if b_compact.shape != (rows.size, np.asarray(col_indices).size):
+        raise ValueError(
+            f"compact tile shape {b_compact.shape} != "
+            f"({rows.size}, {np.asarray(col_indices).size})"
+        )
+    if rows.size == 0 or np.asarray(col_indices).size == 0:
+        return
+    # Load_A_Tile_with_Mask: gather the surviving rows of A's K dimension
+    a_panel = a[:, rows]
+    # WMMA main loop: one dense (M × kept_k) @ (kept_k × kept_n) product
+    contrib = a_panel @ b_compact
+    # Store_C_Tile_with_Mask: scatter into the tile's output columns
+    out[:, np.asarray(col_indices)] += contrib
+
+
+def tw_gemm(a: np.ndarray, weight: TiledTWMatrix) -> np.ndarray:
+    """Compute ``A @ W`` for a TW-compacted weight matrix.
+
+    Columns of the output that belong to no tile (pruned columns) are exact
+    zeros, matching dense GEMM against the mask-expanded weights.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError("a must be 2-D")
+    k, n = weight.shape
+    if a.shape[1] != k:
+        raise ValueError(f"A columns {a.shape[1]} != weight K {k}")
+    out = np.zeros((a.shape[0], n), dtype=np.result_type(a, np.float64))
+    for tile in weight.tiles:
+        masked_gemm(a, tile.data, tile.mask_k, tile.col_indices, out)
+    return out

@@ -1,0 +1,49 @@
+"""Sparse × dense products — the cuSparse execution path.
+
+The paper runs EW- and VW-pruned models through cuSparse on CUDA cores
+(§III-B, §VII-A).  cuSparse's SpMM consumes CSR; the TEW residual pass
+consumes CSC.  These functional kernels provide the exact values those
+library calls would produce; :mod:`repro.gpu.cusparse` prices them.
+
+For a weight-sparse DNN layer ``Y = X · W`` with sparse ``W``, cuSparse
+computes the transposed product ``Yᵀ = Wᵀ · Xᵀ`` with ``Wᵀ`` in CSR —
+:func:`csr_spmm` covers that orientation; :func:`csc_left_spmm` computes
+``X · W`` directly from a CSC weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["csr_spmm", "csc_left_spmm", "spmm_rowwise_reference"]
+
+
+def csr_spmm(sparse: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """``sparse @ dense`` with a CSR left operand (cuSparse ``csrmm``)."""
+    return sparse.matmul_dense(dense)
+
+
+def csc_left_spmm(dense: np.ndarray, sparse: CSCMatrix) -> np.ndarray:
+    """``dense @ sparse`` with a CSC right operand (the TEW residual pass)."""
+    return sparse.left_matmul_dense(dense)
+
+
+def spmm_rowwise_reference(sparse: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """Scalar row-wise SpMM used to cross-check the vectorised kernels.
+
+    Mirrors the one-thread-per-row GPU schedule: each output row gathers
+    ``dense[col, :]`` for its non-zeros — the irregular gather that makes
+    unstructured sparsity slow on real hardware.
+    """
+    dense = np.asarray(dense)
+    if dense.ndim != 2 or dense.shape[0] != sparse.shape[1]:
+        raise ValueError(f"rhs shape {dense.shape} incompatible with {sparse.shape}")
+    out = np.zeros((sparse.shape[0], dense.shape[1]), dtype=np.float64)
+    for r in range(sparse.shape[0]):
+        lo, hi = sparse.indptr[r], sparse.indptr[r + 1]
+        for p in range(lo, hi):
+            out[r] += sparse.data[p] * dense[sparse.indices[p]]
+    return out

@@ -1,0 +1,41 @@
+"""Blocked layout transforms — the memory-coalescing optimisation substrate.
+
+The paper stores matrix tiles *transposed* so that row skipping (cheap,
+coalesced) replaces column skipping (uncoalesced; §VI "Memory Accesses
+Coalesce", Fig. 7 step 2).  The transpose itself is a kernel with real cost
+(~10% of end-to-end latency when unfused, Fig. 15), so the runtime models it
+explicitly; this module provides the functional op.
+
+``blocked_transpose`` walks the matrix in cache-sized square blocks — the
+standard technique for avoiding the pathological strided access of a naive
+transpose (see the cache-effects discussion in the scientific-Python
+optimisation guide).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["blocked_transpose"]
+
+
+def blocked_transpose(a: np.ndarray, block: int = 64) -> np.ndarray:
+    """Contiguous transpose computed block by block.
+
+    Equivalent to ``np.ascontiguousarray(a.T)``; the blocked loop bounds the
+    working set to ``2·block²`` elements per step so both the read and the
+    write streams stay cache-resident.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"expected 2-D array, got ndim={a.ndim}")
+    if block <= 0:
+        raise ValueError(f"block must be positive, got {block}")
+    m, n = a.shape
+    out = np.empty((n, m), dtype=a.dtype)
+    for r0 in range(0, m, block):
+        r1 = min(r0 + block, m)
+        for c0 in range(0, n, block):
+            c1 = min(c0 + block, n)
+            out[c0:c1, r0:r1] = a[r0:r1, c0:c1].T
+    return out

@@ -1,0 +1,183 @@
+"""MiniBERT — a faithful scaled-down BERT encoder (paper Fig. 1).
+
+Architecture per layer: multi-head self-attention + residual + LayerNorm,
+then a GeLU feed-forward (dim → 4·dim → dim) + residual + LayerNorm — the
+exact Transformer-layer structure of Fig. 1.  Each layer carries **six
+prunable GEMM matrices** (Wq, Wk, Wv, Wo, W1, W2), matching the paper's
+"each layer has 6 weight matrices (4 for the self attention and 2 for FC
+layers)" accounting behind Fig. 5's 72 matrices for 12-layer BERT-base.
+
+Two task heads mirror the paper's downstream evaluations:
+
+- :class:`MiniBERTClassifier` — sentence(-pair) classification (MNLI/GLUE);
+- :class:`MiniBERTSpan` — start/end span extraction (SQuAD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.datasets import ClassificationSplit
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module
+from repro.nn.loss import cross_entropy
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["BertConfig", "MiniBERTEncoder", "MiniBERTClassifier", "MiniBERTSpan"]
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """MiniBERT hyper-parameters (defaults sized for laptop training)."""
+
+    vocab_size: int = 128
+    dim: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    max_len: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads:
+            raise ValueError(f"dim {self.dim} not divisible by heads {self.n_heads}")
+        if min(self.vocab_size, self.dim, self.n_layers, self.max_len) <= 0:
+            raise ValueError(f"invalid config {self}")
+
+    @property
+    def ffn_dim(self) -> int:
+        """Feed-forward width (BERT uses 4×dim)."""
+        return 4 * self.dim
+
+
+class TransformerLayer(Module):
+    """One encoder layer: MHA + FFN with post-LN residuals (BERT style)."""
+
+    def __init__(self, cfg: BertConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.attn = MultiHeadSelfAttention(cfg.dim, cfg.n_heads, rng=rng)
+        self.ln1 = LayerNorm(cfg.dim)
+        self.fc1 = Linear(cfg.dim, cfg.ffn_dim, rng=rng)
+        self.fc2 = Linear(cfg.ffn_dim, cfg.dim, rng=rng)
+        self.ln2 = LayerNorm(cfg.dim)
+
+    def forward(self, x: Tensor, padding_mask: np.ndarray | None = None) -> Tensor:
+        x = self.ln1(x + self.attn(x, padding_mask))
+        return self.ln2(x + self.fc2(F.gelu(self.fc1(x))))
+
+    def prunable_weights(self) -> list[Tensor]:
+        """The six GEMM matrices of this layer, in the paper's order."""
+        return self.attn.projection_weights() + [self.fc1.weight, self.fc2.weight]
+
+
+class MiniBERTEncoder(Module):
+    """Token+position embeddings followed by ``n_layers`` Transformer layers."""
+
+    def __init__(self, cfg: BertConfig) -> None:
+        super().__init__()
+        rng = np.random.default_rng(cfg.seed)
+        self.cfg = cfg
+        self.tok = Embedding(cfg.vocab_size, cfg.dim, rng=rng)
+        self.pos = Embedding(cfg.max_len, cfg.dim, rng=rng)
+        self.layers = [TransformerLayer(cfg, rng) for _ in range(cfg.n_layers)]
+        for i, layer in enumerate(self.layers):
+            setattr(self, f"layer{i}", layer)
+
+    def forward(self, ids: np.ndarray, padding_mask: np.ndarray | None = None) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError(f"expected (batch, seq) ids, got shape {ids.shape}")
+        if ids.shape[1] > self.cfg.max_len:
+            raise ValueError(f"sequence {ids.shape[1]} exceeds max_len {self.cfg.max_len}")
+        x = self.tok(ids) + self.pos(np.arange(ids.shape[1]))
+        for layer in self.layers:
+            x = layer(x, padding_mask)
+        return x
+
+    def prunable_weights(self) -> list[Tensor]:
+        """6 matrices per layer (4 attention + 2 FC), paper's Fig. 5 set."""
+        out: list[Tensor] = []
+        for layer in self.layers:
+            out.extend(layer.prunable_weights())
+        return out
+
+
+class MiniBERTClassifier(Module):
+    """MiniBERT with a CLS-position classification head (MNLI-like tasks)."""
+
+    def __init__(self, cfg: BertConfig, n_classes: int = 3) -> None:
+        super().__init__()
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        self.encoder = MiniBERTEncoder(cfg)
+        self.head = Linear(cfg.dim, n_classes, rng=np.random.default_rng(cfg.seed + 1))
+        self.n_classes = n_classes
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        hidden = self.encoder(ids)
+        return self.head(hidden[:, 0, :])  # CLS position
+
+    def loss(self, split: ClassificationSplit, idx: np.ndarray) -> Tensor:
+        """Batch cross-entropy (the Trainer's loss_fn signature)."""
+        return cross_entropy(self(split.x[idx]), split.y[idx])
+
+    def predict(self, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Greedy class predictions without building the tape."""
+        out = []
+        with no_grad():
+            for lo in range(0, x.shape[0], batch_size):
+                out.append(self(x[lo : lo + batch_size]).data.argmax(axis=1))
+        return np.concatenate(out) if out else np.zeros(0, dtype=np.int64)
+
+    def evaluate(self, split: ClassificationSplit) -> float:
+        """Test accuracy."""
+        from repro.nn.metrics import accuracy
+
+        return accuracy(self.predict(split.x), split.y)
+
+    def prunable_weights(self) -> list[Tensor]:
+        """Encoder GEMMs only — heads stay dense, as in the paper."""
+        return self.encoder.prunable_weights()
+
+
+class MiniBERTSpan(Module):
+    """MiniBERT with a start/end span head (SQuAD-like tasks)."""
+
+    def __init__(self, cfg: BertConfig) -> None:
+        super().__init__()
+        self.encoder = MiniBERTEncoder(cfg)
+        self.head = Linear(cfg.dim, 2, rng=np.random.default_rng(cfg.seed + 2))
+
+    def forward(self, ids: np.ndarray) -> tuple[Tensor, Tensor]:
+        hidden = self.encoder(ids)             # (b, s, d)
+        logits = self.head(hidden)             # (b, s, 2)
+        return logits[:, :, 0], logits[:, :, 1]
+
+    def loss(self, split: ClassificationSplit, idx: np.ndarray) -> Tensor:
+        start_logits, end_logits = self(split.x[idx])
+        l_start = cross_entropy(start_logits, split.extra["start"][idx])
+        l_end = cross_entropy(end_logits, split.extra["end"][idx])
+        return (l_start + l_end) * 0.5
+
+    def predict(self, x: np.ndarray, batch_size: int = 64) -> tuple[np.ndarray, np.ndarray]:
+        """Greedy start/end predictions."""
+        starts, ends = [], []
+        with no_grad():
+            for lo in range(0, x.shape[0], batch_size):
+                s_logits, e_logits = self(x[lo : lo + batch_size])
+                starts.append(s_logits.data.argmax(axis=1))
+                ends.append(e_logits.data.argmax(axis=1))
+        return np.concatenate(starts), np.concatenate(ends)
+
+    def evaluate(self, split: ClassificationSplit) -> float:
+        """Span F1 (the paper's SQuAD accuracy axis)."""
+        from repro.nn.metrics import span_f1
+
+        ps, pe = self.predict(split.x)
+        return span_f1(ps, pe, split.extra["start"], split.extra["end"])
+
+    def prunable_weights(self) -> list[Tensor]:
+        """Encoder GEMMs only."""
+        return self.encoder.prunable_weights()

@@ -1,0 +1,165 @@
+"""MiniNMT — LSTM encoder-decoder with Luong attention (paper's NMT).
+
+The paper evaluates an attention-based encoder-decoder LSTM on IWSLT En-Vi
+(BLEU metric, §VII-A), reproduced from the TensorFlow seq2seq tutorial.
+This miniature keeps the same computational skeleton:
+
+- a unidirectional LSTM encoder over the source,
+- an LSTM decoder whose hidden state attends over encoder states
+  (Luong-style general attention) before the output projection,
+- teacher forcing for training, greedy decoding for BLEU.
+
+Prunable GEMMs: the encoder/decoder fused gate matrices (``w_ih``/``w_hh``),
+the attention bilinear map, the attentional-combination projection and the
+vocabulary projection — the LSTM layer's "native GEMM operations" (§II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.datasets import ClassificationSplit, Seq2SeqDataset
+from repro.nn.layers import Embedding, Linear, LSTMCell, Module
+from repro.nn.loss import sequence_cross_entropy
+from repro.nn.metrics import corpus_bleu
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["NMTConfig", "MiniNMT"]
+
+
+@dataclass(frozen=True)
+class NMTConfig:
+    """MiniNMT hyper-parameters."""
+
+    vocab_size: int = 64
+    dim: int = 48
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 8 or self.dim <= 0:
+            raise ValueError(f"invalid config {self}")
+
+
+class MiniNMT(Module):
+    """Encoder-decoder with attention on the synthetic translation task."""
+
+    def __init__(self, cfg: NMTConfig) -> None:
+        super().__init__()
+        rng = np.random.default_rng(cfg.seed)
+        self.cfg = cfg
+        d = cfg.dim
+        self.src_emb = Embedding(cfg.vocab_size, d, rng=rng)
+        self.tgt_emb = Embedding(cfg.vocab_size, d, rng=rng)
+        self.encoder = LSTMCell(d, d, rng=rng)
+        self.decoder = LSTMCell(d, d, rng=rng)
+        self.attn_w = Linear(d, d, bias=False, rng=rng)     # Luong "general" score
+        self.combine = Linear(2 * d, d, rng=rng)            # attentional vector
+        self.out_proj = Linear(d, cfg.vocab_size, rng=rng)  # vocabulary logits
+
+    # ------------------------------------------------------------------ #
+    def encode(self, src: np.ndarray) -> tuple[list[Tensor], tuple[Tensor, Tensor]]:
+        """Run the encoder; returns per-step states and the final state."""
+        src = np.asarray(src)
+        b, s = src.shape
+        h, c = self.encoder.init_state(b)
+        states: list[Tensor] = []
+        emb = self.src_emb(src)  # (b, s, d)
+        for t in range(s):
+            h, c = self.encoder(emb[:, t, :], (h, c))
+            states.append(h)
+        return states, (h, c)
+
+    def _attend(self, dec_h: Tensor, enc_stack: Tensor, src_pad: np.ndarray) -> Tensor:
+        """Luong attention: softmax(dec_h · W · enc) weighted context."""
+        query = self.attn_w(dec_h)                       # (b, d)
+        scores = (enc_stack @ query.reshape(query.shape[0], query.shape[1], 1))[
+            :, :, 0
+        ]                                                # (b, s)
+        scores = scores.masked_fill(src_pad, -1e9)
+        weights = F.softmax(scores, axis=-1)             # (b, s)
+        w3 = weights.reshape(weights.shape[0], weights.shape[1], 1)
+        return (enc_stack * w3).sum(axis=1)              # (b, d)
+
+    def decode_step(
+        self,
+        token: np.ndarray,
+        state: tuple[Tensor, Tensor],
+        enc_stack: Tensor,
+        src_pad: np.ndarray,
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """One decoder step: embed → LSTM → attend → combine → logits."""
+        emb = self.tgt_emb(np.asarray(token))
+        h, c = self.decoder(emb, state)
+        ctx = self._attend(h, enc_stack, src_pad)
+        attentional = self.combine(Tensor.concat([ctx, h], axis=1)).tanh()
+        return self.out_proj(attentional), (h, c)
+
+    def forward(self, src: np.ndarray, tgt_in: np.ndarray) -> Tensor:
+        """Teacher-forced logits ``(b, len(tgt_in), vocab)``."""
+        states, state = self.encode(src)
+        enc_stack = Tensor.concat(
+            [s.reshape(s.shape[0], 1, s.shape[1]) for s in states], axis=1
+        )
+        src_pad = np.asarray(src) == Seq2SeqDataset.pad_id
+        logits = []
+        for t in range(np.asarray(tgt_in).shape[1]):
+            step_logits, state = self.decode_step(
+                np.asarray(tgt_in)[:, t], state, enc_stack, src_pad
+            )
+            logits.append(step_logits.reshape(step_logits.shape[0], 1, -1))
+        return Tensor.concat(logits, axis=1)
+
+    # ------------------------------------------------------------------ #
+    def loss(self, split: ClassificationSplit, idx: np.ndarray) -> Tensor:
+        """Teacher-forced token cross-entropy, padding excluded."""
+        src = split.x[idx]
+        tgt = split.y[idx]
+        logits = self(src, tgt[:, :-1])
+        return sequence_cross_entropy(logits, tgt[:, 1:], pad_id=Seq2SeqDataset.pad_id)
+
+    def greedy_decode(self, src: np.ndarray, max_len: int | None = None) -> list[list[int]]:
+        """Greedy translations (token lists without BOS/EOS/PAD)."""
+        src = np.asarray(src)
+        max_len = max_len or src.shape[1] + 2
+        with no_grad():
+            states, state = self.encode(src)
+            enc_stack = Tensor.concat(
+                [s.reshape(s.shape[0], 1, s.shape[1]) for s in states], axis=1
+            )
+            src_pad = src == Seq2SeqDataset.pad_id
+            token = np.full(src.shape[0], Seq2SeqDataset.bos_id, dtype=np.int64)
+            done = np.zeros(src.shape[0], dtype=bool)
+            outputs: list[list[int]] = [[] for _ in range(src.shape[0])]
+            for _ in range(max_len):
+                logits, state = self.decode_step(token, state, enc_stack, src_pad)
+                token = logits.data.argmax(axis=1)
+                for i, t in enumerate(token):
+                    if done[i]:
+                        continue
+                    if t == Seq2SeqDataset.eos_id:
+                        done[i] = True
+                    elif t != Seq2SeqDataset.pad_id:
+                        outputs[i].append(int(t))
+                if done.all():
+                    break
+        return outputs
+
+    def evaluate(self, split: ClassificationSplit) -> float:
+        """Corpus BLEU of greedy decodes against the references."""
+        hyps = self.greedy_decode(split.x)
+        refs = []
+        for row in split.y:
+            content = row[(row != Seq2SeqDataset.pad_id)]
+            refs.append([int(t) for t in content[1:-1]])  # strip BOS/EOS
+        return corpus_bleu(hyps, refs)
+
+    def prunable_weights(self) -> list[Tensor]:
+        """All GEMM matrices of the seq2seq stack."""
+        return (
+            self.encoder.gemm_weights()
+            + self.decoder.gemm_weights()
+            + [self.attn_w.weight, self.combine.weight, self.out_proj.weight]
+        )

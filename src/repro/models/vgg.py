@@ -1,0 +1,108 @@
+"""MiniVGG — a scaled-down VGG-style CNN (paper §VII-A's VGG-16).
+
+Structure mirrors VGG: stacked 3×3 same-padding convolutions in widening
+stages separated by 2×2 max-pools, finished by fully-connected layers.
+Every convolution's weight lives in its im2col-lowered GEMM form (the
+matrix the paper prunes — "we prune its weight matrix after applying the
+im2col method"), so the pruner and latency engines see the true GEMM view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.datasets import ClassificationSplit
+from repro.nn.layers import Conv2d, Linear, MaxPool2d, Module
+from repro.nn.loss import cross_entropy
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["VGGConfig", "MiniVGG"]
+
+
+@dataclass(frozen=True)
+class VGGConfig:
+    """MiniVGG hyper-parameters.
+
+    ``stages`` lists the channel width of each conv stage; each stage has
+    two 3×3 convolutions followed by a 2×2 pool (the VGG recipe).
+    """
+
+    in_channels: int = 3
+    image_size: int = 16
+    stages: tuple[int, ...] = (16, 32)
+    fc_dim: int = 64
+    n_classes: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.stages or min(self.stages) <= 0:
+            raise ValueError("stages must be non-empty positive widths")
+        if self.image_size % (2 ** len(self.stages)):
+            raise ValueError(
+                f"image {self.image_size} not divisible by 2^{len(self.stages)} pools"
+            )
+
+    @property
+    def final_spatial(self) -> int:
+        """Spatial extent after all pools."""
+        return self.image_size // (2 ** len(self.stages))
+
+
+class MiniVGG(Module):
+    """Conv stages + two FC layers, trained on the synthetic image task."""
+
+    def __init__(self, cfg: VGGConfig) -> None:
+        super().__init__()
+        rng = np.random.default_rng(cfg.seed)
+        self.cfg = cfg
+        self.convs: list[Conv2d] = []
+        self.pools: list[MaxPool2d] = []
+        c = cfg.in_channels
+        for si, width in enumerate(cfg.stages):
+            conv_a = Conv2d(c, width, 3, padding=1, rng=rng)
+            conv_b = Conv2d(width, width, 3, padding=1, rng=rng)
+            setattr(self, f"conv{si}a", conv_a)
+            setattr(self, f"conv{si}b", conv_b)
+            self.convs.extend([conv_a, conv_b])
+            pool = MaxPool2d(2)
+            setattr(self, f"pool{si}", pool)
+            self.pools.append(pool)
+            c = width
+        flat = cfg.stages[-1] * cfg.final_spatial**2
+        self.fc1 = Linear(flat, cfg.fc_dim, rng=rng)
+        self.fc2 = Linear(cfg.fc_dim, cfg.n_classes, rng=rng)
+
+    def forward(self, x: np.ndarray | Tensor) -> Tensor:
+        t = x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=np.float64))
+        for si in range(len(self.cfg.stages)):
+            t = self.convs[2 * si](t).relu()
+            t = self.convs[2 * si + 1](t).relu()
+            t = self.pools[si](t)
+        n = t.shape[0]
+        t = t.reshape(n, -1)
+        return self.fc2(self.fc1(t).relu())
+
+    def loss(self, split: ClassificationSplit, idx: np.ndarray) -> Tensor:
+        """Batch cross-entropy (the Trainer's loss_fn signature)."""
+        return cross_entropy(self(split.x[idx]), split.y[idx])
+
+    def predict(self, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Greedy class predictions without building the tape."""
+        out = []
+        with no_grad():
+            for lo in range(0, x.shape[0], batch_size):
+                out.append(self(x[lo : lo + batch_size]).data.argmax(axis=1))
+        return np.concatenate(out) if out else np.zeros(0, dtype=np.int64)
+
+    def evaluate(self, split: ClassificationSplit) -> float:
+        """Test accuracy."""
+        from repro.nn.metrics import accuracy
+
+        return accuracy(self.predict(split.x), split.y)
+
+    def prunable_weights(self) -> list[Tensor]:
+        """im2col-lowered conv GEMMs + FC weights (the paper prunes both:
+        "13 convolutional layers and 3 fully connected layers")."""
+        return [c.gemm_weight() for c in self.convs] + [self.fc1.weight, self.fc2.weight]

@@ -1,0 +1,63 @@
+"""From-scratch NumPy DNN substrate.
+
+The paper fine-tunes pruned BERT / VGG / NMT models in TensorFlow; offline
+reproduction needs a real training stack, so this subpackage implements one
+from scratch on NumPy:
+
+- :mod:`repro.nn.tensor` — tape-based reverse-mode autodiff;
+- :mod:`repro.nn.functional` — composite ops (softmax, GeLU, layernorm, …);
+- :mod:`repro.nn.layers` — Linear / Embedding / LayerNorm / Conv2d /
+  MaxPool2d / LSTMCell modules;
+- :mod:`repro.nn.attention` — multi-head self-attention;
+- :mod:`repro.nn.loss` — cross-entropy (+ label smoothing);
+- :mod:`repro.nn.optimizer` — SGD(momentum), Adam;
+- :mod:`repro.nn.datasets` — synthetic stand-ins for MNLI / SQuAD /
+  ImageNet / IWSLT (see DESIGN.md §2 for the substitution argument);
+- :mod:`repro.nn.metrics` — accuracy, span-F1, BLEU;
+- :mod:`repro.nn.trainer` — training loops and the
+  :class:`~repro.nn.trainer.TrainedModelAdapter` bridging real models to
+  the pruning driver (mask enforcement during fine-tuning included).
+
+Importance scores use *real* gradients from this stack (the paper's
+first-order Taylor criterion), and all accuracy numbers in the benchmarks
+come from genuinely trained-and-pruned models.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import functional
+from repro.nn.layers import (
+    Conv2d,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    LSTMCell,
+    MaxPool2d,
+    Module,
+    Sequential,
+)
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.loss import cross_entropy
+from repro.nn.optimizer import SGD, Adam
+from repro.nn.trainer import TrainedModelAdapter, Trainer
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Conv2d",
+    "MaxPool2d",
+    "Dropout",
+    "LSTMCell",
+    "MultiHeadSelfAttention",
+    "cross_entropy",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainedModelAdapter",
+]

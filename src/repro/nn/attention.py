@@ -1,0 +1,72 @@
+"""Multi-head self-attention (the MHA block of Fig. 1's Transformer layer).
+
+Four prunable projection matrices per block — Wq, Wk, Wv, Wo — which, with
+the two feed-forward matrices, give the "6 weight matrices per layer"
+accounting behind Fig. 5's 72 matrices for 12-layer BERT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``n_heads`` heads.
+
+    Input/output: ``(batch, seq, dim)``.  An optional boolean padding mask
+    ``(batch, seq)`` marks positions to ignore (True = masked out).
+    """
+
+    def __init__(
+        self, dim: int, n_heads: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        if dim <= 0 or n_heads <= 0 or dim % n_heads:
+            raise ValueError(f"dim {dim} must be a positive multiple of n_heads {n_heads}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.wq = Linear(dim, dim, rng=rng)
+        self.wk = Linear(dim, dim, rng=rng)
+        self.wv = Linear(dim, dim, rng=rng)
+        self.wo = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, padding_mask: np.ndarray | None = None) -> Tensor:
+        b, s, d = x.shape
+        if d != self.dim:
+            raise ValueError(f"expected last dim {self.dim}, got {d}")
+        h, hd = self.n_heads, self.head_dim
+
+        def split_heads(t: Tensor) -> Tensor:
+            # (b, s, d) -> (b, h, s, hd)
+            return t.reshape(b, s, h, hd).transpose(0, 2, 1, 3)
+
+        q = split_heads(self.wq(x))
+        k = split_heads(self.wk(x))
+        v = split_heads(self.wv(x))
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(hd))
+        if padding_mask is not None:
+            padding_mask = np.asarray(padding_mask, dtype=bool)
+            if padding_mask.shape != (b, s):
+                raise ValueError(
+                    f"padding mask shape {padding_mask.shape} != ({b}, {s})"
+                )
+            scores = scores.masked_fill(
+                padding_mask[:, None, None, :], -1e9
+            )
+        attn = F.softmax(scores, axis=-1)
+        ctx = attn @ v                                # (b, h, s, hd)
+        merged = ctx.transpose(0, 2, 1, 3).reshape(b, s, d)
+        return self.wo(merged)
+
+    def projection_weights(self) -> list[Tensor]:
+        """The four prunable matrices (paper's per-layer attention count)."""
+        return [self.wq.weight, self.wk.weight, self.wv.weight, self.wo.weight]

@@ -1,0 +1,236 @@
+"""Synthetic datasets standing in for the paper's benchmarks.
+
+The paper evaluates on MNLI/GLUE (sentence-pair classification), SQuAD
+(span extraction), ImageNet (image classification) and IWSLT En-Vi
+(translation).  None are redistributable here, so each task is replaced by
+a synthetic generator that preserves what the pruning experiments need: a
+*learnable* task whose accuracy degrades smoothly as model capacity is
+pruned away, so pattern-vs-accuracy orderings are measurable.  DESIGN.md §2
+documents the substitution argument.
+
+All generators are deterministic given a seed and return plain NumPy
+arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ClassificationSplit",
+    "SentencePairDataset",
+    "SpanQADataset",
+    "ImagePatternDataset",
+    "Seq2SeqDataset",
+    "batches",
+]
+
+
+@dataclass
+class ClassificationSplit:
+    """A (inputs, labels) pair with optional auxiliary arrays."""
+
+    x: np.ndarray
+    y: np.ndarray
+    extra: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+
+def batches(n: int, batch_size: int, rng: np.random.Generator | None = None):
+    """Yield index arrays covering ``range(n)``, shuffled when ``rng`` given."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    order = np.arange(n)
+    if rng is not None:
+        rng.shuffle(order)
+    for lo in range(0, n, batch_size):
+        yield order[lo : lo + batch_size]
+
+
+class SentencePairDataset:
+    """MNLI-like sentence-pair entailment.
+
+    Class semantics mirror NLI:
+
+    - 0 "entailment"    — both segments share a topic;
+    - 1 "contradiction" — same topic, but the second segment carries a
+      negation marker token;
+    - 2 "neutral"       — unrelated topics.
+
+    The model must both compare the two segments' topics (0/1 vs 2) and
+    spot the negation token (0 vs 1) — two distinct skills, so accuracy
+    degrades gracefully as capacity is pruned away rather than collapsing.
+    Topic unigrams are block-structured (each topic strongly favours its
+    own vocabulary slice).
+    """
+
+    n_classes = 3
+
+    def __init__(
+        self,
+        vocab_size: int = 128,
+        seq_len: int = 24,
+        n_topics: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if vocab_size < 16 or seq_len < 4 or n_topics < 4:
+            raise ValueError("dataset too small to be learnable")
+        self.vocab_size = vocab_size
+        self.seq_len = seq_len
+        self.n_topics = n_topics
+        # reserved ids at the top of the vocabulary
+        self.sep_id = vocab_size - 1
+        self.cls_id = vocab_size - 2
+        self.neg_id = vocab_size - 3
+        content = vocab_size - 3
+        weights = np.ones((n_topics, content))
+        block = max(content // n_topics, 1)
+        for t in range(n_topics):
+            lo = (t * block) % content
+            weights[t, lo : lo + block] = 12.0
+        self._topic_probs = weights / weights.sum(axis=1, keepdims=True)
+
+    def sample(self, n: int, seed: int) -> ClassificationSplit:
+        """Generate ``n`` labelled pairs; tokens shape ``(n, 2 + 2·half)``."""
+        rng = np.random.default_rng(seed)
+        half = self.seq_len // 2
+        content = self.vocab_size - 3
+        y = rng.integers(0, self.n_classes, size=n)
+        x = np.empty((n, 2 + 2 * half), dtype=np.int64)
+        for i in range(n):
+            t1 = int(rng.integers(0, self.n_topics))
+            if y[i] == 2:
+                others = [t for t in range(self.n_topics) if t != t1]
+                t2 = int(rng.choice(others))
+            else:
+                t2 = t1
+            s1 = rng.choice(content, size=half, p=self._topic_probs[t1])
+            s2 = rng.choice(content, size=half, p=self._topic_probs[t2])
+            if y[i] == 1:  # contradiction: negation marker somewhere in s2
+                s2[rng.integers(0, half)] = self.neg_id
+            x[i] = np.concatenate(([self.cls_id], s1, [self.sep_id], s2))
+        return ClassificationSplit(x=x, y=y)
+
+
+class SpanQADataset:
+    """SQuAD-like span extraction.
+
+    A "question" token announces which marker pair to find; the "context"
+    contains several marker pairs and the model must output the start/end
+    positions of the announced one.  Labels are ``(start, end)`` indices.
+    """
+
+    def __init__(
+        self, vocab_size: int = 128, seq_len: int = 32, n_marker_kinds: int = 4,
+        span_len: int = 3, seed: int = 0,
+    ) -> None:
+        if seq_len < (span_len + 2) * n_marker_kinds + 2:
+            raise ValueError("sequence too short for the requested markers")
+        self.vocab_size = vocab_size
+        self.seq_len = seq_len
+        self.n_marker_kinds = n_marker_kinds
+        self.span_len = span_len
+        # reserved ids: markers at the top of the vocabulary
+        self.marker_ids = np.arange(vocab_size - n_marker_kinds, vocab_size)
+        self.question_base = vocab_size - 2 * n_marker_kinds
+
+    def sample(self, n: int, seed: int) -> ClassificationSplit:
+        """Generate ``n`` examples; extra['start'] / extra['end'] labels."""
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, self.question_base, size=(n, self.seq_len))
+        start = np.zeros(n, dtype=np.int64)
+        end = np.zeros(n, dtype=np.int64)
+        slot = self.span_len + 1
+        for i in range(n):
+            kind = int(rng.integers(0, self.n_marker_kinds))
+            x[i, 0] = self.question_base + kind  # the "question"
+            # place each marker kind at a random non-overlapping slot
+            positions = 1 + rng.permutation(
+                (self.seq_len - 1) // slot
+            )[: self.n_marker_kinds] * slot
+            for k, pos in enumerate(positions):
+                x[i, pos] = self.marker_ids[k]
+                if k == kind:
+                    start[i] = pos
+                    end[i] = pos + self.span_len - 1
+        return ClassificationSplit(x=x, y=start, extra={"start": start, "end": end})
+
+
+class ImagePatternDataset:
+    """ImageNet-like multi-class images: class templates + jitter + noise.
+
+    Templates are *smooth* (low-frequency: a coarse random grid upsampled
+    4×), so the ±2-pixel translation jitter preserves class identity — the
+    shift-tolerance pressure that makes convolution the right inductive
+    bias, as in real image classification.
+    """
+
+    def __init__(
+        self, n_classes: int = 10, channels: int = 3, size: int = 16, seed: int = 0
+    ) -> None:
+        if n_classes < 2 or size < 8 or size % 4:
+            raise ValueError("dataset too small (or size not a multiple of 4)")
+        self.n_classes = n_classes
+        self.channels = channels
+        self.size = size
+        rng = np.random.default_rng(seed)
+        coarse = rng.standard_normal((n_classes, channels, size // 4, size // 4))
+        self._templates = np.kron(coarse, np.ones((1, 1, 4, 4)))
+
+    def sample(self, n: int, seed: int) -> ClassificationSplit:
+        """Generate ``n`` images ``(n, C, H, W)`` with integer labels."""
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, self.n_classes, size=n)
+        x = self._templates[y].copy()
+        # random circular shifts (translation invariance pressure)
+        for i in range(n):
+            sh, sw = rng.integers(-2, 3, size=2)
+            x[i] = np.roll(np.roll(x[i], sh, axis=1), sw, axis=2)
+        x += rng.standard_normal(x.shape) * 0.7
+        return ClassificationSplit(x=x, y=y)
+
+
+class Seq2SeqDataset:
+    """IWSLT-like toy translation: reverse the source and map its tokens.
+
+    Target = token-mapped, reversed source — long-range reordering plus a
+    learned lexical mapping, the two ingredients attention-based NMT needs.
+    Sequences have variable length with padding; BLEU is the metric.
+    """
+
+    pad_id = 0
+    bos_id = 1
+    eos_id = 2
+
+    def __init__(self, vocab_size: int = 64, max_len: int = 12, seed: int = 0) -> None:
+        if vocab_size < 8 or max_len < 4:
+            raise ValueError("dataset too small to be learnable")
+        self.vocab_size = vocab_size
+        self.max_len = max_len
+        rng = np.random.default_rng(seed)
+        content = np.arange(3, vocab_size)
+        self._mapping = np.concatenate(([0, 1, 2], rng.permutation(content)))
+
+    def sample(self, n: int, seed: int) -> ClassificationSplit:
+        """Generate source/target pairs, padded to ``max_len + 2``.
+
+        ``x`` is the source; ``y`` the target *including* BOS/EOS so
+        teacher forcing uses ``y[:, :-1] → y[:, 1:]``.
+        """
+        rng = np.random.default_rng(seed)
+        width = self.max_len + 2
+        x = np.full((n, width), self.pad_id, dtype=np.int64)
+        y = np.full((n, width), self.pad_id, dtype=np.int64)
+        for i in range(n):
+            length = int(rng.integers(self.max_len // 2, self.max_len + 1))
+            src = rng.integers(3, self.vocab_size, size=length)
+            tgt = self._mapping[src[::-1]]
+            x[i, :length] = src
+            y[i, 0] = self.bos_id
+            y[i, 1 : 1 + length] = tgt
+            y[i, 1 + length] = self.eos_id
+        return ClassificationSplit(x=x, y=y)

@@ -1,0 +1,57 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["cross_entropy", "sequence_cross_entropy"]
+
+
+def cross_entropy(
+    logits: Tensor, labels: np.ndarray, label_smoothing: float = 0.0
+) -> Tensor:
+    """Mean cross-entropy of ``(batch, classes)`` logits vs integer labels."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    b, c = logits.shape
+    if labels.shape != (b,):
+        raise ValueError(f"labels shape {labels.shape} != ({b},)")
+    if labels.size and (labels.min() < 0 or labels.max() >= c):
+        raise ValueError("label out of range")
+    if not (0.0 <= label_smoothing < 1.0):
+        raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+    logp = F.log_softmax(logits, axis=-1)
+    onehot = np.zeros((b, c))
+    onehot[np.arange(b), labels] = 1.0
+    if label_smoothing > 0.0:
+        onehot = onehot * (1.0 - label_smoothing) + label_smoothing / c
+    nll = -(logp * Tensor(onehot)).sum(axis=-1)
+    return nll.mean()
+
+
+def sequence_cross_entropy(
+    logits: Tensor, labels: np.ndarray, pad_id: int | None = None
+) -> Tensor:
+    """Token-level cross-entropy for ``(batch, seq, vocab)`` logits.
+
+    Positions equal to ``pad_id`` are excluded from the average (the NMT
+    decoder's padded targets).
+    """
+    labels = np.asarray(labels)
+    if logits.ndim != 3:
+        raise ValueError(f"expected 3-D logits, got shape {logits.shape}")
+    b, s, v = logits.shape
+    if labels.shape != (b, s):
+        raise ValueError(f"labels shape {labels.shape} != ({b}, {s})")
+    logp = F.log_softmax(logits, axis=-1)
+    mask = np.ones((b, s)) if pad_id is None else (labels != pad_id).astype(float)
+    safe_labels = np.where(mask > 0, labels, 0)
+    onehot = np.zeros((b, s, v))
+    onehot[np.arange(b)[:, None], np.arange(s)[None, :], safe_labels] = 1.0
+    nll = -(logp * Tensor(onehot)).sum(axis=-1) * Tensor(mask)
+    denom = max(mask.sum(), 1.0)
+    return nll.sum() * (1.0 / denom)

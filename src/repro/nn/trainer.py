@@ -1,0 +1,179 @@
+"""Training loops and the pruning-driver adapter.
+
+:class:`Trainer` runs generic mini-batch training over any model that
+exposes ``loss(batch) -> Tensor``.  :class:`TrainedModelAdapter` bridges a
+trained model to :class:`repro.core.pruner.TWPruner`'s ``PrunableModel``
+protocol: it extracts the prunable GEMM matrices, computes fresh Taylor
+gradients from a calibration batch, enforces masks through the optimizer
+(pruned weights stay exactly zero during fine-tuning, Alg. 1 line 21), and
+runs the per-stage fine-tuning epochs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.datasets import ClassificationSplit, batches
+from repro.nn.optimizer import Adam, Optimizer
+from repro.nn.tensor import Tensor
+
+__all__ = ["TrainConfig", "Trainer", "TrainedModelAdapter"]
+
+# a model, for training purposes: loss(split, indices) -> scalar Tensor
+LossFn = Callable[[ClassificationSplit, np.ndarray], Tensor]
+
+
+@dataclass
+class TrainConfig:
+    """Mini-batch training hyper-parameters."""
+
+    epochs: int = 3
+    batch_size: int = 32
+    lr: float = 1e-3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 0 or self.batch_size <= 0 or self.lr <= 0:
+            raise ValueError(f"invalid train config {self}")
+
+
+class Trainer:
+    """Generic mini-batch trainer.
+
+    Parameters
+    ----------
+    loss_fn:
+        ``loss_fn(split, idx)`` returns the scalar loss of the batch
+        ``split.x[idx] / split.y[idx]``.  Keeping the batch assembly inside
+        the model-specific closure lets one trainer serve classification,
+        span and seq2seq tasks.
+    optimizer:
+        Any :class:`~repro.nn.optimizer.Optimizer`; masks registered on it
+        survive across epochs, so fine-tuning a pruned model just works.
+    """
+
+    def __init__(self, loss_fn: LossFn, optimizer: Optimizer) -> None:
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.history: list[float] = []
+
+    def train(self, split: ClassificationSplit, config: TrainConfig) -> list[float]:
+        """Run ``config.epochs`` epochs; returns per-epoch mean losses."""
+        rng = np.random.default_rng(config.seed)
+        epoch_losses = []
+        for _ in range(config.epochs):
+            losses = []
+            for idx in batches(len(split), config.batch_size, rng):
+                self.optimizer.zero_grad()
+                loss = self.loss_fn(split, idx)
+                loss.backward()
+                self.optimizer.step()
+                losses.append(loss.item())
+            epoch_losses.append(float(np.mean(losses)))
+        self.history.extend(epoch_losses)
+        return epoch_losses
+
+
+class TrainedModelAdapter:
+    """Adapt a trained model to the pruner's ``PrunableModel`` protocol.
+
+    Parameters
+    ----------
+    prunable:
+        The GEMM-view weight tensors to prune, in a stable order (the same
+        order masks come back in).
+    loss_fn:
+        Batch-loss closure (same signature as :class:`Trainer`).
+    train_split:
+        Data for fine-tuning and gradient calibration.
+    finetune_config:
+        Per-stage fine-tuning budget (Alg. 1 runs this after every stage).
+    calibration_batches:
+        How many batches to average Taylor gradients over.
+    """
+
+    def __init__(
+        self,
+        prunable: list[Tensor],
+        loss_fn: LossFn,
+        train_split: ClassificationSplit,
+        finetune_config: TrainConfig | None = None,
+        calibration_batches: int = 4,
+        lr: float | None = None,
+    ) -> None:
+        if not prunable:
+            raise ValueError("no prunable tensors given")
+        self.prunable = prunable
+        self.loss_fn = loss_fn
+        self.train_split = train_split
+        self.finetune_config = finetune_config or TrainConfig(epochs=1)
+        self.calibration_batches = calibration_batches
+        self.masks: list[np.ndarray] = [
+            np.ones(p.shape, dtype=bool) for p in prunable
+        ]
+        self._optimizer = Adam(
+            list(self._all_params()), lr=lr or self.finetune_config.lr
+        )
+
+    def _all_params(self):
+        seen = set()
+        for p in self.prunable:
+            if id(p) not in seen:
+                seen.add(id(p))
+                yield p
+
+    # ---------------- PrunableModel protocol ---------------- #
+    def weight_matrices(self) -> list[np.ndarray]:
+        """Current dense weights of the prunable layers."""
+        return [p.data for p in self.prunable]
+
+    def gradient_matrices(self) -> list[np.ndarray]:
+        """Fresh loss gradients averaged over calibration batches.
+
+        These feed Eq. 3's Taylor scores; weights and their gradients
+        "already exist in the training stage" per the paper — here we
+        recompute them on demand from held-in data.
+        """
+        rng = np.random.default_rng(self.finetune_config.seed + 17)
+        grads = [np.zeros(p.shape) for p in self.prunable]
+        n = 0
+        for idx in batches(
+            len(self.train_split), self.finetune_config.batch_size, rng
+        ):
+            for p in self.prunable:
+                p.zero_grad()
+            loss = self.loss_fn(self.train_split, idx)
+            loss.backward()
+            for g, p in zip(grads, self.prunable):
+                if p.grad is not None:
+                    g += p.grad
+            n += 1
+            if n >= self.calibration_batches:
+                break
+        return [g / max(n, 1) for g in grads]
+
+    def apply_masks(self, masks: list[np.ndarray]) -> None:
+        """Zero pruned weights and freeze them via the optimizer."""
+        if len(masks) != len(self.prunable):
+            raise ValueError(
+                f"expected {len(self.prunable)} masks, got {len(masks)}"
+            )
+        self.masks = [np.asarray(m, dtype=bool).copy() for m in masks]
+        for p, m in zip(self.prunable, self.masks):
+            self._optimizer.set_mask(p, m)
+
+    def fine_tune(self) -> None:
+        """One stage of mask-constrained fine-tuning."""
+        trainer = Trainer(self.loss_fn, self._optimizer)
+        trainer.train(self.train_split, self.finetune_config)
+
+    # ---------------- bookkeeping ---------------- #
+    @property
+    def overall_sparsity(self) -> float:
+        """Sparsity implied by the current masks."""
+        total = sum(m.size for m in self.masks)
+        kept = sum(int(m.sum()) for m in self.masks)
+        return 1.0 - kept / total if total else 0.0

@@ -1,0 +1,34 @@
+"""Sparsity patterns: the paper's baselines plus a TW wrapper.
+
+Every pattern maps importance scores to element keep-masks at a requested
+sparsity, so accuracy/latency comparisons across patterns are uniform:
+
+- :class:`ElementWisePattern` (EW) — unstructured pruning, the accuracy
+  upper bound (Han et al. 2015).
+- :class:`VectorWisePattern` (VW) — fixed per-vector sparsity (Zhu et al.
+  MICRO'19 / balanced sparsity); needs modified hardware to accelerate.
+- :class:`BlockWisePattern` (BW) — whole-block pruning (Narang et al. 2017);
+  hardware-friendly but accuracy-hungry.
+- :class:`TileWisePattern` (TW) — the paper's pattern (one-shot wrapper over
+  :func:`repro.core.tile_sparsity.tw_prune_step`; use
+  :class:`repro.core.pruner.TWPruner` for the full multi-stage algorithm).
+- :class:`NMSparsityPattern` (N:M) — extension: Ampere-style structured
+  sparsity (the hardware-supported successor of VW).
+"""
+
+from repro.patterns.base import Pattern, PatternResult
+from repro.patterns.element_wise import ElementWisePattern
+from repro.patterns.vector_wise import VectorWisePattern
+from repro.patterns.block_wise import BlockWisePattern
+from repro.patterns.tile_wise import TileWisePattern
+from repro.patterns.n_m import NMSparsityPattern
+
+__all__ = [
+    "Pattern",
+    "PatternResult",
+    "ElementWisePattern",
+    "VectorWisePattern",
+    "BlockWisePattern",
+    "TileWisePattern",
+    "NMSparsityPattern",
+]

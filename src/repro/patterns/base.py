@@ -1,0 +1,56 @@
+"""Common interface for sparsity patterns."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.masks import overall_sparsity
+
+__all__ = ["Pattern", "PatternResult"]
+
+
+@dataclass
+class PatternResult:
+    """Masks produced by a pattern at one sparsity level."""
+
+    masks: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def achieved_sparsity(self) -> float:
+        """Element-weighted overall sparsity of the masks."""
+        return overall_sparsity(self.masks)
+
+    def per_matrix_sparsity(self) -> list[float]:
+        """Sparsity of each layer's mask."""
+        return [1.0 - float(np.asarray(m).mean()) if np.asarray(m).size else 0.0
+                for m in self.masks]
+
+
+class Pattern(ABC):
+    """A pruning pattern: scores in, keep-masks out.
+
+    Subclasses implement :meth:`prune`; ``name`` identifies the pattern in
+    reports and benchmark output (matching the paper's abbreviations).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def prune(
+        self, scores: Sequence[np.ndarray], sparsity: float
+    ) -> PatternResult:
+        """Produce keep-masks at an overall ``sparsity`` from element scores."""
+
+    @staticmethod
+    def _check_inputs(scores: Sequence[np.ndarray], sparsity: float) -> list[np.ndarray]:
+        if not (0.0 <= sparsity <= 1.0):
+            raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+        mats = [np.asarray(s, dtype=np.float64) for s in scores]
+        for i, m in enumerate(mats):
+            if m.ndim != 2:
+                raise ValueError(f"score matrix {i} must be 2-D, got ndim={m.ndim}")
+        return mats

@@ -1,0 +1,50 @@
+"""Element-wise (EW) pattern — unstructured pruning.
+
+Removes individual weights purely by importance rank (Han et al. 2015),
+imposing no structural constraint.  EW is the accuracy upper bound among all
+patterns at a given sparsity (paper §III-A) but produces randomly-scattered
+non-zeros that defeat dense hardware: the paper measures EW *slower* than
+the dense model on both CUDA cores and tensor cores (Fig. 3, Fig. 14).
+
+Ranking may be *global* across all layers (paper default; this is what
+creates the uneven per-layer sparsity of Fig. 5) or *local* per layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.masks import global_topk_keep_masks, topk_keep_mask
+from repro.patterns.base import Pattern, PatternResult
+
+__all__ = ["ElementWisePattern"]
+
+
+class ElementWisePattern(Pattern):
+    """Unstructured top-k pruning.
+
+    Parameters
+    ----------
+    scope:
+        ``"global"`` — one ranking across all layers (paper default);
+        ``"local"`` — every layer pruned to the same sparsity independently.
+    """
+
+    name = "EW"
+
+    def __init__(self, scope: str = "global") -> None:
+        if scope not in ("global", "local"):
+            raise ValueError(f"unknown scope {scope!r}")
+        self.scope = scope
+
+    def prune(
+        self, scores: Sequence[np.ndarray], sparsity: float
+    ) -> PatternResult:
+        mats = self._check_inputs(scores, sparsity)
+        if self.scope == "global":
+            masks = global_topk_keep_masks(mats, sparsity)
+        else:
+            masks = [topk_keep_mask(m, sparsity) for m in mats]
+        return PatternResult(masks=masks)

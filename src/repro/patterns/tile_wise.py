@@ -1,0 +1,39 @@
+"""Tile-wise (TW) pattern — one-shot wrapper for pattern comparisons.
+
+The full multi-stage Algorithm 1 lives in :class:`repro.core.pruner.TWPruner`;
+this wrapper exposes a single global TW step through the common
+:class:`~repro.patterns.base.Pattern` interface so figure benchmarks can
+sweep all patterns uniformly (Fig. 6, Fig. 13 and the motivation study use
+masks at a fixed sparsity, not full prune–fine-tune runs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
+from repro.patterns.base import Pattern, PatternResult
+
+__all__ = ["TileWisePattern"]
+
+
+class TileWisePattern(Pattern):
+    """One-shot global tile-wise pruning at a given granularity ``G``."""
+
+    name = "TW"
+
+    def __init__(self, config: TWPruneConfig | None = None, granularity: int | None = None):
+        if config is not None and granularity is not None:
+            raise ValueError("pass either config or granularity, not both")
+        if config is None:
+            config = TWPruneConfig(granularity=granularity or 128)
+        self.config = config
+
+    def prune(
+        self, scores: Sequence[np.ndarray], sparsity: float
+    ) -> PatternResult:
+        mats = self._check_inputs(scores, sparsity)
+        step = tw_prune_step(mats, sparsity, self.config)
+        return PatternResult(masks=step.masks)

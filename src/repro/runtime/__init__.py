@@ -1,0 +1,29 @@
+"""End-to-end inference runtime on the simulator.
+
+Combines per-layer GEMM pricing with the non-GEMM kernels, transpose
+placement and fusion decisions of paper §VI, producing the Fig. 15
+end-to-end breakdowns and the Fig. 14 accuracy-latency trade-off points.
+
+- :mod:`repro.runtime.engine` — the :class:`InferenceEngine` orchestrator;
+- :mod:`repro.runtime.layout` — transpose-kernel placement and cost;
+- :mod:`repro.runtime.batching` — cross-tile batching plans;
+- :mod:`repro.runtime.scheduler` — stream-assignment heuristics.
+"""
+
+from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
+from repro.runtime.layout import TransposePlan, transpose_cost
+from repro.runtime.batching import BatchGroup, batching_plan
+from repro.runtime.scheduler import StreamAssignment, assign_streams
+
+__all__ = [
+    "InferenceEngine",
+    "EngineConfig",
+    "LayerPlan",
+    "EndToEndReport",
+    "TransposePlan",
+    "transpose_cost",
+    "BatchGroup",
+    "batching_plan",
+    "StreamAssignment",
+    "assign_streams",
+]

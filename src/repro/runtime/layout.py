@@ -1,0 +1,84 @@
+"""Transpose-kernel placement (paper §VI "Memory Accesses Coalesce").
+
+The TW GEMM wants its operands transposed; a naive schedule transposes the
+activations into every GEMM and the outputs back out (one extra kernel per
+GEMM boundary, ~10 % of end-to-end latency in Fig. 15).  The paper instead
+rewrites the *non-GEMM* kernels to consume/produce the transposed layout,
+leaving only two real transpose kernels: matrix ``A`` before the first
+layer and matrix ``C`` after the last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.gpu.costmodel import CostBreakdown, PerfCounters
+from repro.gpu.device import DeviceSpec, V100
+
+__all__ = ["TransposePlan", "transpose_cost"]
+
+
+@dataclass(frozen=True)
+class TransposePlan:
+    """How many transpose kernels a schedule needs.
+
+    ``per_layer`` — one transpose at every GEMM boundary (n_gemms + 1);
+    ``boundary_only`` — first-layer A and last-layer C only (the paper's
+    fused layout); ``none`` — untransposed execution (the GEMM then pays
+    the uncoalesced penalty instead).
+    """
+
+    mode: str = "boundary_only"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("per_layer", "boundary_only", "none"):
+            raise ValueError(f"unknown transpose mode {self.mode!r}")
+
+    def kernel_count(self, n_gemms: int) -> int:
+        """Transpose kernels for a chain of ``n_gemms`` weight GEMMs."""
+        if n_gemms < 0:
+            raise ValueError(f"negative GEMM count {n_gemms}")
+        if self.mode == "none" or n_gemms == 0:
+            return 0
+        if self.mode == "per_layer":
+            return n_gemms + 1
+        return 2
+
+
+def transpose_cost(
+    rows: int,
+    cols: int,
+    count: int,
+    device: DeviceSpec = V100,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    dtype_bytes: int = 2,
+) -> CostBreakdown:
+    """Price ``count`` transpose kernels of a ``rows×cols`` matrix.
+
+    A transpose is a pure copy with one strided stream; it achieves only
+    :attr:`Calibration.transpose_bw_fraction` of DRAM bandwidth.
+    """
+    if rows < 0 or cols < 0 or count < 0:
+        raise ValueError("negative transpose geometry")
+    if rows == 0 or cols == 0 or count == 0:
+        return CostBreakdown(kernels=0, label="transpose")
+    bytes_each = rows * cols * dtype_bytes
+    loads = float(bytes_each * count)
+    stores = float(bytes_each * count)
+    memory_us = (loads + stores) / (
+        device.mem_bandwidth * calib.transpose_bw_fraction
+    ) * 1e6
+    return CostBreakdown(
+        compute_us=0.0,
+        memory_us=memory_us,
+        launch_us=count * device.kernel_launch_us,
+        kernels=count,
+        counters=PerfCounters(
+            flops=0.0,
+            bytes_loaded=loads,
+            bytes_stored=stores,
+            sector_bytes=device.sector_bytes,
+        ),
+        label="transpose",
+    )

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def weight_file(tmp_path):
+    rng = np.random.default_rng(0)
+    path = tmp_path / "w.npy"
+    np.save(path, rng.standard_normal((128, 128)))
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_prune_defaults(self, weight_file):
+        args = build_parser().parse_args(["prune", str(weight_file)])
+        assert args.sparsity == 0.75
+        assert args.granularity == 128
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize"])
+
+
+class TestPrune:
+    def test_prints_stats(self, weight_file, capsys):
+        rc = main(["prune", str(weight_file), "--sparsity", "0.5", "-G", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "achieved sparsity" in out
+        assert "tiles" in out
+
+    def test_writes_output(self, weight_file, tmp_path, capsys):
+        out_path = tmp_path / "pruned.npz"
+        rc = main([
+            "prune", str(weight_file), "--sparsity", "0.75",
+            "-G", "32", "--out", str(out_path),
+        ])
+        assert rc == 0
+        from repro.formats.io import load_tiled
+
+        tw = load_tiled(out_path)
+        assert tw.sparsity == pytest.approx(0.75, abs=0.03)
+
+    def test_missing_file(self, tmp_path, capsys):
+        rc = main(["prune", str(tmp_path / "nope.npy")])
+        assert rc == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_rejects_1d(self, tmp_path, capsys):
+        path = tmp_path / "v.npy"
+        np.save(path, np.ones(8))
+        rc = main(["prune", str(path)])
+        assert rc == 2
+
+    def test_rejects_bad_sparsity(self, weight_file, capsys):
+        rc = main(["prune", str(weight_file), "--sparsity", "1.5"])
+        assert rc == 2
+
+
+class TestLatency:
+    def test_tw_latency(self, capsys):
+        rc = main(["latency", "bert", "--pattern", "tw", "--sparsity", "0.75"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GEMM-only speedup" in out
+        assert "end-to-end latency" in out
+
+    def test_dense(self, capsys):
+        rc = main(["latency", "vgg", "--pattern", "dense", "--sparsity", "0"])
+        assert rc == 0
+
+    def test_bad_sparsity(self, capsys):
+        rc = main(["latency", "bert", "--sparsity", "2.0"])
+        assert rc == 2
+
+    def test_bad_model_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["latency", "resnet"])
+
+
+class TestSweep:
+    def test_prints_table(self, capsys):
+        rc = main([
+            "sweep", "bert", "--pattern", "tw",
+            "--sparsities", "0.5", "0.75",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "50%" in out and "75%" in out
+
+    def test_bad_sparsity(self, capsys):
+        rc = main(["sweep", "bert", "--sparsities", "1.5"])
+        assert rc == 2
+
+
+class TestInfo:
+    def test_dumps_device_and_calibration(self, capsys):
+        rc = main(["info"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sm_count" in out
+        assert "tw_masked_load_stall" in out

@@ -1,0 +1,166 @@
+"""Tests for importance scores (paper Eq. 1-3) and unit aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.importance import (
+    ImportanceConfig,
+    column_unit_scores,
+    exact_loss_delta,
+    magnitude_score,
+    normalize_scores,
+    row_unit_scores,
+    score_matrix,
+    taylor_score,
+)
+
+
+class TestElementScores:
+    def test_magnitude_is_abs(self):
+        w = np.array([[-2.0, 3.0], [0.0, -0.5]])
+        np.testing.assert_array_equal(magnitude_score(w), np.abs(w))
+
+    def test_taylor_is_abs_product(self):
+        w = np.array([[1.0, -2.0]])
+        g = np.array([[3.0, 0.5]])
+        np.testing.assert_array_equal(taylor_score(w, g), [[3.0, 1.0]])
+
+    def test_taylor_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            taylor_score(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_taylor_approximates_exact_for_quadratic_loss(self):
+        """Paper Eq. 2: first-order Taylor of L(w=0) around w_i.
+
+        For L(w) = c·w (linear), the Taylor score is exact:
+        |L(w) - L(0)| = |c·w| = |∂L/∂w · w|.
+        """
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((3, 4))
+        c = rng.standard_normal((3, 4))
+
+        def loss(weights):
+            return float((c * weights).sum())
+
+        exact = exact_loss_delta(loss, w.copy())
+        taylor = taylor_score(w, c)
+        np.testing.assert_allclose(exact, taylor, atol=1e-10)
+
+    def test_taylor_first_order_for_mse_loss(self):
+        """For L = 0.5·Σ(w−t)², removing w_i changes L by |0.5·w_i² − w_i·t_i|;
+        the Taylor score |w_i·(w_i−t_i)| matches to first order (small w)."""
+        rng = np.random.default_rng(1)
+        t = rng.standard_normal((2, 3))
+        w = t + 1e-3 * rng.standard_normal((2, 3))  # near optimum
+
+        def loss(weights):
+            return 0.5 * float(((weights - t) ** 2).sum())
+
+        grad = w - t
+        exact = exact_loss_delta(loss, w.copy())
+        taylor = taylor_score(w, grad)
+        # exact = |0.5 w^2 - w t|; taylor = |w(w-t)| ; both O(w^2) near opt
+        np.testing.assert_allclose(exact, np.abs(0.5 * w**2 - w * t), atol=1e-12)
+        assert np.all(taylor <= exact + 1e-6)  # Taylor is a lower-order term here
+
+    def test_score_matrix_dispatch(self):
+        w = np.array([[1.0, -2.0]])
+        g = np.array([[2.0, 2.0]])
+        np.testing.assert_array_equal(
+            score_matrix(w, g, ImportanceConfig(method="taylor")), [[2.0, 4.0]]
+        )
+        np.testing.assert_array_equal(
+            score_matrix(w, None, ImportanceConfig(method="magnitude")), [[1.0, 2.0]]
+        )
+
+    def test_score_matrix_taylor_requires_grads(self):
+        with pytest.raises(ValueError):
+            score_matrix(np.ones((2, 2)), None, ImportanceConfig(method="taylor"))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ImportanceConfig(method="oracle")
+        with pytest.raises(ValueError):
+            ImportanceConfig(reduction="max")
+        with pytest.raises(ValueError):
+            ImportanceConfig(normalize="softmax")
+
+
+class TestNormalization:
+    def test_none_is_identity(self):
+        s = np.array([[1.0, 2.0]])
+        assert normalize_scores(s, "none") is s
+
+    def test_mean_normalization(self):
+        s = np.array([[2.0, 4.0]])
+        np.testing.assert_allclose(normalize_scores(s, "mean"), [[2 / 3, 4 / 3]])
+
+    def test_l2_normalization(self):
+        s = np.array([[3.0, 4.0]])
+        rms = np.sqrt((9 + 16) / 2)
+        np.testing.assert_allclose(normalize_scores(s, "l2"), s / rms)
+
+    def test_zero_scores_unchanged(self):
+        s = np.zeros((2, 2))
+        np.testing.assert_array_equal(normalize_scores(s, "mean"), s)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            normalize_scores(np.ones((1, 1)), "max")
+
+
+class TestUnitAggregation:
+    def test_column_scores_sum(self):
+        s = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(column_unit_scores(s, "sum"), [4.0, 6.0])
+
+    def test_column_scores_mean_and_l2(self):
+        s = np.array([[3.0, 0.0], [4.0, 2.0]])
+        np.testing.assert_allclose(column_unit_scores(s, "mean"), [3.5, 1.0])
+        np.testing.assert_allclose(column_unit_scores(s, "l2"), [5.0, 2.0])
+
+    def test_column_scores_rejects_1d(self):
+        with pytest.raises(ValueError):
+            column_unit_scores(np.ones(3))
+
+    def test_row_unit_scores_respects_groups(self):
+        s = np.arange(12, dtype=float).reshape(3, 4)
+        groups = [np.array([0, 2]), np.array([1, 3])]
+        out = row_unit_scores(s, groups, "sum")
+        np.testing.assert_array_equal(out[0], s[:, [0, 2]].sum(axis=1))
+        np.testing.assert_array_equal(out[1], s[:, [1, 3]].sum(axis=1))
+
+    def test_row_unit_scores_empty_group(self):
+        s = np.ones((3, 4))
+        out = row_unit_scores(s, [np.array([], dtype=np.int64)])
+        np.testing.assert_array_equal(out[0], np.zeros(3))
+
+    def test_row_unit_scores_rejects_1d(self):
+        with pytest.raises(ValueError):
+            row_unit_scores(np.ones(3), [np.array([0])])
+
+
+@given(
+    st.integers(1, 10),
+    st.integers(1, 10),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_scores_nonnegative_property(k, n, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((k, n))
+    g = rng.standard_normal((k, n))
+    assert np.all(magnitude_score(w) >= 0)
+    assert np.all(taylor_score(w, g) >= 0)
+    assert np.all(column_unit_scores(taylor_score(w, g)) >= 0)
+
+
+@given(st.integers(2, 8), st.integers(2, 8), st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_column_sum_partition_property(k, n, seed):
+    """Column scores partition the total score mass."""
+    rng = np.random.default_rng(seed)
+    s = np.abs(rng.standard_normal((k, n)))
+    assert column_unit_scores(s, "sum").sum() == pytest.approx(s.sum())

@@ -1,0 +1,145 @@
+"""Tests for the multi-stage Algorithm 1 driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArrayModel,
+    AprioriConfig,
+    GradualSchedule,
+    ImportanceConfig,
+    TWPruneConfig,
+    TWPruner,
+)
+from repro.core.masks import validate_tw_mask
+
+
+def make_pruner(target=0.75, g=8, stages=3, **kw):
+    return TWPruner(
+        TWPruneConfig(granularity=g, **kw.pop("config_kw", {})),
+        GradualSchedule(target=target, n_stages=stages),
+        kw.pop("importance", ImportanceConfig(method="magnitude")),
+        kw.pop("apriori", None),
+    )
+
+
+class TestArrayModel:
+    def test_apply_masks_zeroes_weights(self):
+        w = np.ones((4, 4))
+        m = ArrayModel([w])
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = True
+        m.apply_masks([mask])
+        assert m.weight_matrices()[0].sum() == 1.0
+
+    def test_mask_shape_mismatch(self):
+        m = ArrayModel([np.ones((4, 4))])
+        with pytest.raises(ValueError):
+            m.apply_masks([np.ones((2, 2), dtype=bool)])
+
+    def test_mask_count_mismatch(self):
+        m = ArrayModel([np.ones((4, 4))])
+        with pytest.raises(ValueError):
+            m.apply_masks([])
+
+    def test_gradient_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayModel([np.ones((2, 2))], gradients=[])
+
+    def test_satisfies_protocol(self):
+        from repro.core.pruner import PrunableModel
+
+        assert isinstance(ArrayModel([np.ones((2, 2))]), PrunableModel)
+
+
+class TestTWPruner:
+    def test_reaches_target(self):
+        rng = np.random.default_rng(0)
+        model = ArrayModel([rng.standard_normal((32, 64)), rng.standard_normal((48, 32))])
+        res = make_pruner(target=0.75).prune(model)
+        assert res.achieved_sparsity == pytest.approx(0.75, abs=0.03)
+
+    def test_monotone_history(self):
+        rng = np.random.default_rng(1)
+        model = ArrayModel([rng.standard_normal((32, 64))])
+        res = make_pruner(target=0.8, stages=4).prune(model)
+        achieved = [h.achieved_sparsity for h in res.history]
+        assert all(b >= a - 1e-9 for a, b in zip(achieved, achieved[1:]))
+
+    def test_final_masks_are_tw(self):
+        rng = np.random.default_rng(2)
+        model = ArrayModel([rng.standard_normal((32, 64))])
+        res = make_pruner(target=0.6, g=8).prune(model)
+        validate_tw_mask(res.masks[0], 8)
+
+    def test_masks_applied_to_model(self):
+        rng = np.random.default_rng(3)
+        model = ArrayModel([rng.standard_normal((16, 32))])
+        res = make_pruner(target=0.5).prune(model)
+        w = model.weight_matrices()[0]
+        assert np.all(w[~res.masks[0]] == 0.0)
+
+    def test_taylor_fallback_without_grads(self):
+        """Requesting Taylor scores with no gradients degrades to magnitude."""
+        rng = np.random.default_rng(4)
+        model = ArrayModel([rng.standard_normal((16, 16))])
+        pruner = make_pruner(importance=ImportanceConfig(method="taylor"))
+        res = pruner.prune(model)  # must not raise
+        assert res.achieved_sparsity > 0.5
+
+    def test_taylor_with_gradients(self):
+        rng = np.random.default_rng(5)
+        w = rng.standard_normal((16, 32))
+        g = rng.standard_normal((16, 32))
+        model = ArrayModel([w], gradients=[g])
+        pruner = make_pruner(importance=ImportanceConfig(method="taylor"))
+        res = pruner.prune(model)
+        assert res.achieved_sparsity == pytest.approx(0.75, abs=0.03)
+
+    def test_apriori_integration(self):
+        rng = np.random.default_rng(6)
+        model = ArrayModel([np.abs(rng.standard_normal((32, 64))) + 0.1])
+        pruner = make_pruner(apriori=AprioriConfig(top_n=0.1, last_n=0.1))
+        res = pruner.prune(model)
+        assert res.achieved_sparsity == pytest.approx(0.75, abs=0.03)
+
+    def test_fine_tune_called_each_stage(self):
+        calls = []
+
+        class CountingModel(ArrayModel):
+            def fine_tune(self):
+                calls.append(1)
+
+        rng = np.random.default_rng(7)
+        model = CountingModel([rng.standard_normal((16, 16))])
+        pruner = make_pruner(target=0.6, stages=4)
+        pruner.prune(model)
+        assert len(calls) == len(pruner.schedule.stages())
+
+    def test_rejects_non_model(self):
+        with pytest.raises(TypeError):
+            make_pruner().prune(object())
+
+    def test_uneven_per_layer_sparsity_emerges(self):
+        """Fig. 5 behaviour: layers with smaller weights lose more."""
+        rng = np.random.default_rng(8)
+        big = np.abs(rng.standard_normal((32, 64))) * 10
+        small = np.abs(rng.standard_normal((32, 64)))
+        model = ArrayModel([big, small])
+        res = make_pruner(target=0.75).prune(model)
+        sp = res.history[-1].per_matrix_sparsity
+        assert sp[0] < sp[1]
+
+    def test_granularity_extremes(self):
+        """G=1 behaves like fine-grained pruning; G=N like whole-matrix
+        row/column pruning (paper §I: EW and global-structural limits)."""
+        rng = np.random.default_rng(9)
+        w = np.abs(rng.standard_normal((16, 32)))
+        res_small = make_pruner(target=0.5, g=1).prune(ArrayModel([w.copy()]))
+        res_large = make_pruner(target=0.5, g=32).prune(ArrayModel([w.copy()]))
+        # with G=N, row pruning removes whole rows of the matrix
+        groups = res_large.step.column_groups[0]
+        assert len(groups) == 1
+        # both still hit the target
+        for res in (res_small, res_large):
+            assert res.achieved_sparsity == pytest.approx(0.5, abs=0.05)

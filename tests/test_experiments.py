@@ -1,0 +1,120 @@
+"""Tests for the experiment pipelines (accuracy, latency, matched-sparsity)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    MODEL_SHAPES,
+    accuracy_matched_sparsity,
+    gemm_speedup,
+    model_plans,
+    prepare_task,
+    prune_and_evaluate,
+    sparsity_sweep,
+)
+from repro.experiments.latency import end_to_end_report
+from repro.experiments.matched import DROP_BUDGETS
+
+
+@pytest.fixture(scope="module")
+def mnli_bundle():
+    # small budget: enough to be clearly above chance, fast enough for CI
+    return prepare_task("mnli", train_samples=512)
+
+
+class TestAccuracyPipeline:
+    def test_baseline_above_chance(self, mnli_bundle):
+        assert mnli_bundle.baseline_metric > 0.5
+
+    def test_restore_resets_weights(self, mnli_bundle):
+        w = mnli_bundle.model.prunable_weights()[0]
+        original = w.data.copy()
+        w.data[...] = 0.0
+        mnli_bundle.restore()
+        np.testing.assert_array_equal(w.data, original)
+
+    def test_dense_pattern_returns_baseline(self, mnli_bundle):
+        acc = prune_and_evaluate(mnli_bundle, "dense", 0.0)
+        assert acc == pytest.approx(mnli_bundle.baseline_metric)
+
+    def test_tw_prune_reaches_sparsity_and_keeps_accuracy(self, mnli_bundle):
+        acc = prune_and_evaluate(mnli_bundle, "tw", 0.5, granularity=16)
+        # the model stays close to its dense accuracy at 50% (paper: "BERT
+        # is at least 50% redundant")
+        assert acc > mnli_bundle.baseline_metric - 0.1
+        # masks actually applied at the requested sparsity
+        total = kept = 0
+        for w in mnli_bundle.model.prunable_weights():
+            total += w.size
+            kept += int(np.count_nonzero(w.data))
+        assert 1 - kept / total == pytest.approx(0.5, abs=0.06)
+
+    def test_bw_loses_more_than_ew_at_high_sparsity(self, mnli_bundle):
+        ew = prune_and_evaluate(mnli_bundle, "ew", 0.85)
+        bw = prune_and_evaluate(mnli_bundle, "bw", 0.85, block_shape=(16, 16))
+        assert ew >= bw - 0.02  # EW is the accuracy upper bound (Fig. 9a/12)
+
+    def test_unknown_pattern_raises(self, mnli_bundle):
+        with pytest.raises(KeyError):
+            prune_and_evaluate(mnli_bundle, "magic", 0.5)
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            prepare_task("imagenet22k")
+
+
+class TestLatencyPipeline:
+    def test_model_plans_cover_shapes(self):
+        plans = model_plans("bert", "tw", 0.75)
+        assert len(plans) == len(MODEL_SHAPES["bert"]())
+        assert all(p.pattern == "tw" for p in plans)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            model_plans("resnet", "tw", 0.5)
+
+    def test_tw_speedup_monotone_in_sparsity(self):
+        sweep = sparsity_sweep("bert", "tw", [0.25, 0.5, 0.75, 0.95])
+        assert all(b > a for a, b in zip(sweep, sweep[1:]))
+
+    def test_paper_pairings(self):
+        """EW compares against dense CUDA cores even under a TC config."""
+        ew = gemm_speedup("bert", "ew", 0.8, engine="tensor_core")
+        assert ew < 1.0  # slower than dense-CUDA (Fig. 3)
+        tw = gemm_speedup("bert", "tw", 0.75, engine="tensor_core")
+        assert tw > 1.5
+
+    def test_bw_slower_than_dense(self):
+        assert gemm_speedup("bert", "bw", 0.5, block_size=32) < 1.0
+
+    def test_all_models_price(self):
+        for model in MODEL_SHAPES:
+            s = gemm_speedup(model, "tw", 0.75)
+            assert s > 1.0
+
+    def test_end_to_end_report(self):
+        rep = end_to_end_report("bert", "tw", 0.75)
+        assert rep.total_us > 0
+        assert rep.transpose_us > 0
+        fr = rep.fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-9
+
+
+class TestMatched:
+    def test_picks_highest_within_budget(self):
+        s = accuracy_matched_sparsity(
+            [0.25, 0.5, 0.75, 0.9], [0.90, 0.89, 0.87, 0.70], baseline=0.90, budget=0.03
+        )
+        assert s == 0.75
+
+    def test_none_when_budget_never_met(self):
+        s = accuracy_matched_sparsity([0.5, 0.9], [0.5, 0.4], baseline=0.9, budget=0.03)
+        assert s is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_matched_sparsity([0.5], [], 0.9, 0.03)
+
+    def test_budget_table(self):
+        assert DROP_BUDGETS["vgg"] < DROP_BUDGETS["mnli"]
+        assert DROP_BUDGETS["nmt"] == 1.0

@@ -1,0 +1,73 @@
+"""Tests for the energy extension (§VIII's energy-reduction claim)."""
+
+import pytest
+
+from repro.gpu import dense_gemm_tc_cost, tw_gemm_cost
+from repro.gpu.costmodel import CostBreakdown, PerfCounters
+from repro.gpu.energy import V100_ENERGY, EnergyModel
+from repro.gpu.tw_kernel import TWShapeStats
+
+M, K, N, G = 8192, 768, 768, 128
+
+
+class TestEnergyModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(pj_per_flop=-1)
+
+    def test_components_add_up(self):
+        cost = CostBreakdown(
+            compute_us=100.0,
+            counters=PerfCounters(flops=1e9, bytes_loaded=1e6, bytes_stored=1e6),
+        )
+        est = V100_ENERGY.estimate(cost)
+        assert est.total_j == pytest.approx(
+            est.compute_j + est.memory_j + est.static_j
+        )
+        assert est.compute_j == pytest.approx(1e9 * 0.2e-12)
+        assert est.memory_j == pytest.approx(2e6 * 20e-12)
+        assert est.static_j == pytest.approx(80 * 100e-6)
+
+    def test_zero_cost_zero_energy(self):
+        est = V100_ENERGY.estimate(CostBreakdown())
+        assert est.total_j == 0.0
+
+    def test_savings_vs(self):
+        big = V100_ENERGY.estimate(
+            CostBreakdown(compute_us=100, counters=PerfCounters(flops=1e12))
+        )
+        small = V100_ENERGY.estimate(
+            CostBreakdown(compute_us=50, counters=PerfCounters(flops=5e11))
+        )
+        assert small.savings_vs(big) == pytest.approx(0.5, abs=0.01)
+
+    def test_savings_zero_baseline_rejected(self):
+        est = V100_ENERGY.estimate(CostBreakdown())
+        with pytest.raises(ValueError):
+            est.savings_vs(est)
+
+
+class TestTWSavesEnergy:
+    """The paper's §VIII claim: removing redundant computation saves energy."""
+
+    def test_tw_saves_energy_at_75(self):
+        dense = V100_ENERGY.estimate(dense_gemm_tc_cost(M, N, K))
+        shape = TWShapeStats.synthetic(K, N, G, 0.75, seed=1)
+        tw = V100_ENERGY.estimate(tw_gemm_cost(M, shape))
+        assert tw.savings_vs(dense) > 0.3  # substantial savings
+
+    def test_savings_grow_with_sparsity(self):
+        dense = V100_ENERGY.estimate(dense_gemm_tc_cost(M, N, K))
+        savings = []
+        for s in (0.25, 0.5, 0.75, 0.95):
+            shape = TWShapeStats.synthetic(K, N, G, s, seed=1)
+            savings.append(V100_ENERGY.estimate(tw_gemm_cost(M, shape)).savings_vs(dense))
+        assert all(b > a for a, b in zip(savings, savings[1:]))
+
+    def test_mask_overhead_costs_energy_at_zero_sparsity(self):
+        """At 0% sparsity, TW *spends* energy (extra traffic + longer busy
+        time) — the flip side of the Fig. 11 overhead."""
+        dense = V100_ENERGY.estimate(dense_gemm_tc_cost(M, N, K))
+        shape = TWShapeStats.synthetic(K, N, G, 0.0, seed=1)
+        tw = V100_ENERGY.estimate(tw_gemm_cost(M, shape))
+        assert tw.savings_vs(dense) < 0.0
