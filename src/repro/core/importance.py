@@ -34,6 +34,7 @@ __all__ = [
     "normalize_scores",
     "column_unit_scores",
     "row_unit_scores",
+    "row_unit_scores_matrix",
     "score_matrix",
 ]
 
@@ -175,4 +176,104 @@ def row_unit_scores(
             out.append(np.zeros(scores.shape[0], dtype=np.float64))
         else:
             out.append(_reduce(scores[:, cols], axis=1, reduction=reduction))
+    return out
+
+
+def row_unit_scores_matrix(
+    scores: np.ndarray,
+    column_groups: Sequence[np.ndarray],
+    reduction: str = "sum",
+    normalize: str = "none",
+    *,
+    assume_sorted: bool = False,
+) -> np.ndarray:
+    """Vectorised :func:`row_unit_scores`, returned as one ``(T, K)`` array.
+
+    Each tile's member columns are sorted, so they live inside a contiguous
+    span ``[cols[0], cols[-1]+1)`` of the original matrix; the tile's row
+    sums are then one BLAS ``dgemv`` of that span against a 0/1 selection
+    vector — no per-tile column gather.  This is the hot path of the global
+    TW pruning step at model scale (the gather is ~3× slower at BERT-base).
+
+    Equals ``np.stack(row_unit_scores(...))`` exactly whenever the per-tile
+    sums are exactly representable (e.g. integer-valued scores); otherwise
+    the two may differ by re-association rounding of a few ulp.  Groups with
+    unsorted or duplicate columns fall back to the reference gather;
+    ``assume_sorted`` skips that per-group check for callers that guarantee
+    it (the pruning step's reorganised tiles are always sorted).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected 2-D score matrix, got ndim={scores.ndim}")
+    scores = normalize_scores(scores, normalize)
+    k = scores.shape[0]
+    if assume_sorted and len(column_groups) > 192 and reduction in ("sum", "mean"):
+        # hundreds of narrow tiles: one bulk column gather beats thousands
+        # of tiny per-span dgemv calls
+        gathered = _gathered_tile_scores(scores, column_groups, reduction)
+        if gathered is not None:
+            return gathered
+    out = np.zeros((len(column_groups), k), dtype=np.float64)
+    for t, cols in enumerate(column_groups):
+        cols = np.asarray(cols)
+        if cols.size == 0:
+            continue
+        if not assume_sorted and cols.size > 1 and np.any(np.diff(cols) <= 0):
+            out[t] = _reduce(scores[:, cols], axis=1, reduction=reduction)
+            continue
+        lo, hi = int(cols[0]), int(cols[-1]) + 1
+        select = np.zeros(hi - lo, dtype=np.float64)
+        select[cols - lo] = 1.0
+        with np.errstate(invalid="ignore"):  # 0·inf NaNs are repaired below
+            if reduction == "sum":
+                out[t] = scores[:, lo:hi] @ select
+            elif reduction == "mean":
+                out[t] = (scores[:, lo:hi] @ select) / cols.size
+            elif reduction == "l2":
+                span = scores[:, lo:hi]
+                out[t] = np.sqrt((span * span) @ select)
+            else:
+                raise ValueError(f"unknown reduction {reduction!r}")
+    if np.isnan(out).any():
+        # a non-member column inside a span holding ±inf contaminates the
+        # dgemv with 0·inf = NaN; the reference gather never touches
+        # non-members, so recompute the NaN rows its way (a NaN that the
+        # gather reproduces was a genuine member NaN and stays)
+        for t, cols in enumerate(column_groups):
+            cols = np.asarray(cols)
+            if cols.size and np.isnan(out[t]).any():
+                out[t] = _reduce(scores[:, cols], axis=1, reduction=reduction)
+    return out
+
+
+def _gathered_tile_scores(
+    scores: np.ndarray, column_groups: Sequence[np.ndarray], reduction: str
+) -> np.ndarray | None:
+    """Tile row sums via one flat gather + reshape (narrow-tile fast path).
+
+    Requires every tile but the last to share one width (the reorganised
+    layout); returns ``None`` when widths are ragged so the caller can use
+    the per-span path.  The reshape reduces each tile's columns with the
+    same pairwise summation the reference applies to its gathered slice.
+    """
+    k, n = scores.shape
+    widths = np.array([np.asarray(g).size for g in column_groups], dtype=np.int64)
+    if widths.size == 0 or np.any(widths == 0) or np.any(widths[:-1] != widths[0]):
+        # ragged or empty groups: let the per-group path handle them (an
+        # empty group must score 0, not 0/0)
+        return None
+    g = int(widths[0])
+    all_cols = np.concatenate([np.asarray(c) for c in column_groups])
+    flat = (np.arange(k)[:, None] * n + all_cols[None, :]).ravel()
+    gathered = scores.ravel()[flat].reshape(k, all_cols.size)
+    n_full = widths.size - 1 if widths[-1] != g else widths.size
+    out = np.empty((widths.size, k), dtype=np.float64)
+    if n_full:
+        out[:n_full] = (
+            gathered[:, : n_full * g].reshape(k, n_full, g).sum(axis=2).T
+        )
+    if n_full != widths.size:
+        out[-1] = gathered[:, n_full * g :].sum(axis=1)
+    if reduction == "mean":
+        out /= widths[:, None]
     return out

@@ -19,6 +19,7 @@ __all__ = [
     "global_topk_keep_masks",
     "validate_tw_mask",
     "tw_mask_from_tiles",
+    "tw_mask_from_tile_matrix",
 ]
 
 
@@ -87,6 +88,25 @@ def global_topk_keep_masks(
     return out
 
 
+def _tw_mask_from_tiles_loop(
+    shape: tuple[int, int],
+    column_groups: Sequence[np.ndarray],
+    row_masks: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Per-tile scatter reference for :func:`tw_mask_from_tiles`.
+
+    Kept as the oracle for the vectorised fast path, and used directly when
+    tiles share columns (the fast path's one-shot column write would let a
+    later tile overwrite an earlier tile's rows instead of unioning them).
+    """
+    out = np.zeros(shape, dtype=bool)
+    for cols, mk in zip(column_groups, row_masks):
+        mk = np.asarray(mk, dtype=bool)
+        if np.asarray(cols).size:
+            out[np.ix_(np.flatnonzero(mk), np.asarray(cols))] = True
+    return out
+
+
 def tw_mask_from_tiles(
     shape: tuple[int, int],
     column_groups: Sequence[np.ndarray],
@@ -96,19 +116,56 @@ def tw_mask_from_tiles(
 
     Element ``(k, n)`` is kept iff column ``n`` belongs to some tile ``t``
     and ``row_masks[t][k]`` is True.
+
+    Vectorised: every owned column is written in one fancy assignment into a
+    column-major scratch (contiguous row writes), so no per-tile Python
+    scatter runs.  The result may be a transposed (Fortran-ordered) view;
+    values are identical to the per-tile reference scatter.
     """
     if len(column_groups) != len(row_masks):
         raise ValueError(
             f"{len(column_groups)} column groups but {len(row_masks)} row masks"
         )
-    out = np.zeros(shape, dtype=bool)
-    for cols, mk in zip(column_groups, row_masks):
+    k, n = shape
+    masks = []
+    for mk in row_masks:
         mk = np.asarray(mk, dtype=bool)
-        if mk.shape != (shape[0],):
-            raise ValueError(f"row mask length {mk.shape[0]} != K={shape[0]}")
-        if np.asarray(cols).size:
-            out[np.ix_(np.flatnonzero(mk), np.asarray(cols))] = True
-    return out
+        if mk.shape != (k,):
+            raise ValueError(f"row mask length {mk.shape[0]} != K={k}")
+        masks.append(mk)
+    groups = [np.asarray(cols) for cols in column_groups]
+    if not groups or not any(g.size for g in groups):
+        return np.zeros(shape, dtype=bool)
+    all_cols = np.concatenate([g for g in groups if g.size])
+    if np.unique(all_cols).size != all_cols.size:
+        return _tw_mask_from_tiles_loop(shape, column_groups, row_masks)
+    tile_of_col = np.repeat(
+        np.array([t for t, g in enumerate(groups) if g.size], dtype=np.int64),
+        np.array([g.size for g in groups if g.size], dtype=np.int64),
+    )
+    stacked = np.stack(masks) if masks else np.zeros((0, k), dtype=bool)
+    return tw_mask_from_tile_matrix(shape, all_cols, tile_of_col, stacked)
+
+
+def tw_mask_from_tile_matrix(
+    shape: tuple[int, int],
+    owned_cols: np.ndarray,
+    tile_of_col: np.ndarray,
+    keep_matrix: np.ndarray,
+) -> np.ndarray:
+    """Keep-mask from pre-flattened tile structure (no per-tile validation).
+
+    ``owned_cols[i]`` is a column owned by tile ``tile_of_col[i]`` (each
+    column at most once); ``keep_matrix`` is the ``(n_tiles, K)`` boolean row
+    keeps.  This is the allocation-free core of :func:`tw_mask_from_tiles`
+    for callers that already hold the flattened structure (the vectorised
+    pruning step).  Returns a transposed (Fortran-ordered) view.
+    """
+    k, n = shape
+    out_t = np.zeros((n, k), dtype=bool)
+    if owned_cols.size:
+        out_t[owned_cols] = keep_matrix[tile_of_col]
+    return out_t.T
 
 
 def validate_tw_mask(

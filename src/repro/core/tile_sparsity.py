@@ -19,6 +19,21 @@ only, 0.5 = symmetric default) and treat it as a documented design choice
 
 Global ranking is what lets TW adapt to the uneven cross-layer sparsity
 distribution (paper Fig. 5) that vector-wise pruning cannot express.
+
+Vectorisation contract
+----------------------
+:func:`tw_prune_step` is the vectorised production path: selection runs as a
+sort + ``np.cumsum`` threshold, phase-2 unit assembly is built per layer with
+``np.repeat``/``np.concatenate``, and unit scores are computed with BLAS
+segment sums.  :func:`tw_prune_step_reference` keeps the original per-unit
+Python greedy loops verbatim as the correctness oracle.  The two produce
+bit-identical results whenever unit scores are exactly representable (e.g.
+integer-valued score matrices, or any data whose per-unit sums round
+identically under re-association) — summation *order* inside a unit may
+differ between the two paths, so adversarially constructed scores that
+straddle a rounding boundary can in principle select differently; importance
+scores are non-negative, which keeps that re-association error at a few ulp.
+``tests/test_vectorized_paths.py`` pins the equivalence.
 """
 
 from __future__ import annotations
@@ -32,11 +47,18 @@ from repro.core.importance import (
     column_unit_scores,
     normalize_scores,
     row_unit_scores,
+    row_unit_scores_matrix,
 )
-from repro.core.masks import tw_mask_from_tiles
+from repro.core.masks import _tw_mask_from_tiles_loop, tw_mask_from_tile_matrix
 from repro.formats.tiled import TiledTWMatrix
 
-__all__ = ["TWPruneConfig", "TWStepResult", "split_stage_sparsity", "tw_prune_step"]
+__all__ = [
+    "TWPruneConfig",
+    "TWStepResult",
+    "split_stage_sparsity",
+    "tw_prune_step",
+    "tw_prune_step_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -118,32 +140,114 @@ def split_stage_sparsity(stage_sparsity: float, col_row_split: float) -> tuple[f
     return 1.0 - col_keep, 1.0 - row_keep
 
 
-def _global_select(
+# --------------------------------------------------------------------- #
+# global unit selection
+# --------------------------------------------------------------------- #
+def _stable_desc_order(scores: np.ndarray) -> np.ndarray:
+    """Indices ordering ``scores`` descending, ties broken by index ascending.
+
+    Equivalent to ``np.lexsort((np.arange(n), -scores))`` but ~5× faster on
+    tie-free data: an unstable quicksort is attempted first and the stable
+    mergesort only runs when the sorted keys actually contain a tie (or a
+    NaN, whose ordering quicksort does not pin down).
+    """
+    neg = -scores
+    order = np.argsort(neg)
+    s = neg[order]
+    if s.size > 1 and (np.any(s[1:] == s[:-1]) or np.isnan(s[-1])):
+        return np.argsort(neg, kind="stable")
+    return order
+
+
+def _threshold_score(
+    c: np.ndarray, w: np.ndarray, budget_rem: float
+) -> tuple[float, float]:
+    """Find the boundary score of the greedy element-weighted selection.
+
+    Returns ``(v_star, w_above)`` where ``v_star`` is the score of the unit
+    at which the greedy walk crosses ``budget_rem`` and ``w_above`` is the
+    total weight of units scoring strictly above it.  Quickselect-style:
+    each round partitions the active candidates around a pivot and discards
+    the side that provably does not contain the boundary, so the expected
+    cost is O(n) — no full sort of the unit scores is ever taken.
+    """
+    base = 0.0
+    total = float(w.sum())
+    rounds = 0
+    while True:
+        if c.size == 1:
+            return float(c[0]), base
+        rounds += 1
+        if rounds <= 6 and total > 0:
+            # proportional pivot: weights are near-uniform tile widths, so
+            # the boundary sits near the (rem/total)-quantile of the active
+            # set — this usually lands within a whisker and the active set
+            # collapses in two rounds
+            k = min(c.size - 1, max(0, int(c.size * (budget_rem - base) / total)))
+        else:
+            k = c.size // 2  # median pivot guarantees geometric shrink
+        pivot = np.partition(c, c.size - 1 - k)[c.size - 1 - k]
+        gt = c > pivot
+        w_gt = float(w[gt].sum())
+        if base + w_gt >= budget_rem:
+            c, w = c[gt], w[gt]
+            total = w_gt
+            continue
+        eq_w = float(w[c == pivot].sum())
+        if base + w_gt + eq_w >= budget_rem:
+            return float(pivot), base + w_gt
+        lt = c < pivot
+        base += w_gt + eq_w
+        c, w = c[lt], w[lt]
+        total = float(w.sum())
+
+
+def _global_select_sorted(
     scores: np.ndarray,
     weights: np.ndarray,
     keep_frac: float,
     forced: np.ndarray,
     budget: str,
 ) -> np.ndarray:
-    """Select which units survive, globally across all layers.
+    """Sort-based vectorised selection (fallback for NaN / negative weights).
 
-    Parameters
-    ----------
-    scores:
-        Unit importance scores (higher = more important), any shape-(n,) mix
-        of layers.
-    weights:
-        Element count of each unit (for ``budget="elements"``).
-    keep_frac:
-        Target fraction to keep (of elements or of units per ``budget``).
-    forced:
-        Units that must survive regardless of score (per-layer minimums).
-    budget:
-        ``"elements"`` or ``"units"``.
+    Mirrors the reference greedy walk via a stable descending order plus a
+    sequential ``np.cumsum`` over candidate weights.
+    """
+    n = scores.shape[0]
+    keep = forced.copy()
+    order = _stable_desc_order(scores)
+    cand = order[~forced[order]]  # non-forced units, best first
+    if budget == "units":
+        target_units = int(round(keep_frac * n))
+        remaining = target_units - int(forced.sum())
+        if remaining > 0:
+            keep[cand[:remaining]] = True
+        return keep
+    target_elems = keep_frac * float(weights.sum())
+    used0 = float(weights[forced].sum())
+    # used-before-candidate-j, accumulated in the exact order the scalar
+    # loop adds them (np.cumsum is a sequential accumulation)
+    acc = np.cumsum(np.concatenate(([used0], np.asarray(weights[cand], dtype=np.float64))))
+    below = acc[:-1] < target_elems
+    # the scalar loop stops at the first unit at/over budget, permanently
+    selected = np.logical_and.accumulate(below) if below.size else below
+    keep[cand[selected]] = True
+    return keep
 
-    Returns a boolean keep array.  Greedy element-weighted selection keeps
-    the highest-scored units until the element budget is met; forced units
-    are charged against the budget first.
+
+def _global_select_reference(
+    scores: np.ndarray,
+    weights: np.ndarray,
+    keep_frac: float,
+    forced: np.ndarray,
+    budget: str,
+) -> np.ndarray:
+    """Scalar greedy selection — the oracle the vectorised path must match.
+
+    This is the original per-unit Python loop, kept verbatim so the
+    vectorised :func:`_global_select` has a reference to be tested against
+    (see the vectorisation contract in the module docstring).
     """
     n = scores.shape[0]
     keep = forced.copy()
@@ -171,6 +275,131 @@ def _global_select(
     return keep
 
 
+def _global_select(
+    scores: np.ndarray,
+    weights: np.ndarray,
+    keep_frac: float,
+    forced: np.ndarray,
+    budget: str,
+) -> np.ndarray:
+    """Select which units survive, globally across all layers.
+
+    Parameters
+    ----------
+    scores:
+        Unit importance scores (higher = more important), any shape-(n,) mix
+        of layers.
+    weights:
+        Element count of each unit (for ``budget="elements"``).
+    keep_frac:
+        Target fraction to keep (of elements or of units per ``budget``).
+    forced:
+        Units that must survive regardless of score (per-layer minimums).
+    budget:
+        ``"elements"`` or ``"units"``.
+
+    Returns a boolean keep array, bit-identical to
+    :func:`_global_select_reference` on the same inputs whenever the weight
+    partial sums are exactly representable (unit weights are integer element
+    counts in every caller, so they are).  The greedy walk is replaced by an
+    O(n) quickselect threshold search: only units *at* the boundary score
+    are walked in index order; everything above it is kept wholesale.  NaN
+    scores or negative weights fall back to the sort-based path.
+    """
+    n = scores.shape[0]
+    keep = forced.copy()
+    if n == 0:
+        return keep
+    cand_mask = ~forced
+    n_cand = int(cand_mask.sum())
+    if n_cand == 0:
+        return keep
+    c = scores[cand_mask]
+    if np.isnan(c).any() or (budget == "elements" and np.any(weights < 0)):
+        return _global_select_sorted(scores, weights, keep_frac, forced, budget)
+    if budget == "units":
+        target_units = int(round(keep_frac * n))
+        remaining = target_units - int(forced.sum())
+        if remaining <= 0:
+            return keep
+        if remaining >= n_cand:
+            keep[cand_mask] = True
+            return keep
+        # score of the remaining-th best candidate; ties split by index
+        v = np.partition(c, n_cand - remaining)[n_cand - remaining]
+        above = cand_mask & (scores > v)
+        n_above = int(above.sum())
+        keep[above] = True
+        tie_idx = np.flatnonzero(cand_mask & (scores == v))[: remaining - n_above]
+        keep[tie_idx] = True
+        return keep
+    target_elems = keep_frac * float(weights.sum())
+    used0 = float(weights[forced].sum())
+    if used0 >= target_elems:
+        return keep
+    w = np.asarray(weights[cand_mask], dtype=np.float64)
+    total_cand = float(w.sum())
+    if used0 + total_cand < target_elems:
+        keep[cand_mask] = True
+        return keep
+    v, w_above = _threshold_score(c, w, target_elems - used0)
+    above = cand_mask & (scores > v)
+    keep[above] = True
+    # walk the boundary-score ties in index order, exactly like the scalar
+    # greedy loop does once the budget nears exhaustion
+    tie_idx = np.flatnonzero(cand_mask & (scores == v))
+    acc = np.cumsum(
+        np.concatenate(([used0 + w_above], np.asarray(weights[tie_idx], dtype=np.float64)))
+    )
+    below = acc[:-1] < target_elems
+    selected = np.logical_and.accumulate(below) if below.size else below
+    keep[tie_idx[selected]] = True
+    return keep
+
+
+# --------------------------------------------------------------------- #
+# fast unit scoring (phase 1)
+# --------------------------------------------------------------------- #
+def _fast_column_scores(m: np.ndarray, config: TWPruneConfig) -> np.ndarray:
+    """Column unit scores via one BLAS ``dgemv`` where the reduction allows.
+
+    ``ones @ m`` computes every column sum in a single memory sweep; the
+    ``l2`` reduction needs squared elements and falls back to the generic
+    path.  Equals :func:`column_unit_scores` exactly whenever the column
+    sums are exactly representable (see module docstring).
+    """
+    norm = normalize_scores(m, config.normalize)
+    if config.reduction == "sum":
+        return np.ones(norm.shape[0], dtype=np.float64) @ norm
+    if config.reduction == "mean":
+        return (np.ones(norm.shape[0], dtype=np.float64) @ norm) / norm.shape[0]
+    return column_unit_scores(norm, config.reduction)
+
+
+def _forced_top_units(scores_2d: np.ndarray, n_force: int) -> np.ndarray:
+    """Boolean (rows, units) mask protecting each row's ``n_force`` best units.
+
+    Matches ``np.argsort(-row, kind="stable")[:n_force]`` per row: highest
+    score first, ties broken by the lowest index.
+    """
+    rows, n = scores_2d.shape
+    out = np.zeros((rows, n), dtype=bool)
+    n_force = min(n_force, n)
+    if n_force <= 0 or n == 0:
+        return out
+    if n_force == 1 and not np.isnan(scores_2d).any():
+        # first occurrence of the max == stable argsort top-1 (argmax would
+        # propagate a NaN as the max, where the stable sort puts NaN last)
+        np.put_along_axis(out, np.argmax(scores_2d, axis=1)[:, None], True, axis=1)
+        return out
+    top = np.argsort(-scores_2d, axis=1, kind="stable")[:, :n_force]
+    np.put_along_axis(out, top, True, axis=1)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the pruning step
+# --------------------------------------------------------------------- #
 def tw_prune_step(
     score_matrices: Sequence[np.ndarray],
     stage_sparsity: float,
@@ -178,7 +407,7 @@ def tw_prune_step(
     *,
     column_score_adjust: Sequence[np.ndarray] | None = None,
 ) -> TWStepResult:
-    """Run one global TW pruning step (Alg. 1 lines 4–20).
+    """Run one global TW pruning step (Alg. 1 lines 4–20), vectorised.
 
     Parameters
     ----------
@@ -199,7 +428,133 @@ def tw_prune_step(
     Returns
     -------
     TWStepResult with per-layer column keeps, reorganised tile groups, row
-    masks, full element masks, and the achieved overall sparsity.
+    masks, full element masks, and the achieved overall sparsity.  The
+    element masks may be transposed views (Fortran-ordered); their values
+    are identical to :func:`tw_prune_step_reference`.
+    """
+    mats = [np.asarray(s, dtype=np.float64) for s in score_matrices]
+    for i, m in enumerate(mats):
+        if m.ndim != 2:
+            raise ValueError(f"score matrix {i} must be 2-D, got ndim={m.ndim}")
+    s_col, s_row = split_stage_sparsity(stage_sparsity, config.col_row_split)
+
+    # ---------------- phase 1: global column pruning ---------------- #
+    col_scores: list[np.ndarray] = []
+    for i, m in enumerate(mats):
+        cs = _fast_column_scores(m, config)
+        if column_score_adjust is not None:
+            adj = np.asarray(column_score_adjust[i], dtype=np.float64)
+            if adj.shape != cs.shape:
+                raise ValueError(
+                    f"layer {i}: adjusted column scores shape {adj.shape} != {cs.shape}"
+                )
+            cs = adj
+        col_scores.append(cs)
+
+    all_scores = np.concatenate(col_scores) if col_scores else np.zeros(0)
+    col_elems = np.concatenate(
+        [np.full(m.shape[1], m.shape[0], dtype=np.float64) for m in mats]
+    ) if mats else np.zeros(0)
+    forced = np.concatenate(
+        [
+            _forced_top_units(cs[None, :], config.min_keep_cols)[0]
+            for cs in col_scores
+        ]
+    ) if col_scores else np.zeros(0, dtype=bool)
+    col_keep_flat = _global_select(all_scores, col_elems, 1.0 - s_col, forced, config.budget)
+
+    col_keeps: list[np.ndarray] = []
+    offset = 0
+    for m in mats:
+        col_keeps.append(col_keep_flat[offset : offset + m.shape[1]])
+        offset += m.shape[1]
+
+    # ------- phase 2: reorganise + global tile-row pruning ---------- #
+    groups_per_layer: list[list[np.ndarray]] = [
+        TiledTWMatrix.column_groups(ck, config.granularity, reorganize=config.reorganize)
+        for ck in col_keeps
+    ]
+    # Per layer: unit (t, r) maps to flat slot t*K + r, so scores, widths
+    # and forced flags assemble with reshape/np.repeat instead of per-unit
+    # list appends, and the keep vector scatters back with one reshape.
+    score_chunks: list[np.ndarray] = []
+    width_chunks: list[np.ndarray] = []
+    forced_chunks: list[np.ndarray] = []
+    tile_widths_per_layer: list[np.ndarray] = []
+    for m, groups in zip(mats, groups_per_layer):
+        widths = np.array([g.size for g in groups], dtype=np.int64)
+        tile_widths_per_layer.append(widths)
+        if not groups:
+            continue
+        per_tile = row_unit_scores_matrix(
+            m, groups, config.reduction, normalize=config.normalize,
+            assume_sorted=True,
+        )  # (T, K)
+        score_chunks.append(per_tile.reshape(-1))
+        width_chunks.append(np.repeat(widths.astype(np.float64), m.shape[0]))
+        forced_chunks.append(
+            _forced_top_units(per_tile, config.min_keep_rows).reshape(-1)
+        )
+
+    unit_scores_arr = (
+        np.concatenate(score_chunks) if score_chunks else np.zeros(0)
+    )
+    unit_widths_arr = (
+        np.concatenate(width_chunks) if width_chunks else np.zeros(0)
+    )
+    forced_arr = (
+        np.concatenate(forced_chunks) if forced_chunks else np.zeros(0, dtype=bool)
+    )
+    row_keep_flat = _global_select(
+        unit_scores_arr, unit_widths_arr, 1.0 - s_row, forced_arr, config.budget
+    )
+
+    row_masks: list[list[np.ndarray]] = []
+    masks: list[np.ndarray] = []
+    kept_elements = 0
+    offset = 0
+    for m, groups, widths in zip(mats, groups_per_layer, tile_widths_per_layer):
+        k = m.shape[0]
+        n_tiles = len(groups)
+        keep_mat = row_keep_flat[offset : offset + n_tiles * k].reshape(n_tiles, k)
+        offset += n_tiles * k
+        row_masks.append([np.ascontiguousarray(keep_mat[t]) for t in range(n_tiles)])
+        if n_tiles:
+            # tiles own disjoint columns by construction, so the trusted
+            # one-shot column write is safe
+            owned = np.concatenate(groups)
+            tile_of_col = np.repeat(np.arange(n_tiles, dtype=np.int64), widths)
+            masks.append(
+                tw_mask_from_tile_matrix(m.shape, owned, tile_of_col, keep_mat)
+            )
+            kept_elements += int(np.dot(keep_mat.sum(axis=1), widths))
+        else:
+            masks.append(np.zeros(m.shape, dtype=bool))
+
+    total = sum(m.size for m in mats)
+    achieved = 1.0 - kept_elements / total if total else 0.0
+    return TWStepResult(
+        col_keeps=col_keeps,
+        column_groups=groups_per_layer,
+        row_masks=row_masks,
+        masks=masks,
+        achieved_sparsity=achieved,
+    )
+
+
+def tw_prune_step_reference(
+    score_matrices: Sequence[np.ndarray],
+    stage_sparsity: float,
+    config: TWPruneConfig,
+    *,
+    column_score_adjust: Sequence[np.ndarray] | None = None,
+) -> TWStepResult:
+    """Scalar-loop TW pruning step — the oracle for :func:`tw_prune_step`.
+
+    This is the original seed implementation, kept verbatim (per-unit greedy
+    loops, per-row list appends, per-unit scatter-back) so the vectorised
+    path has a fixed reference for equivalence tests and before/after
+    benchmarking (``benchmarks/bench_hotpaths.py``).  Do not optimise it.
     """
     mats = [np.asarray(s, dtype=np.float64) for s in score_matrices]
     for i, m in enumerate(mats):
@@ -232,7 +587,9 @@ def tw_prune_step(
             top = np.argsort(-cs, kind="stable")[:n_force]
             forced[offset + top] = True
         offset += cs.shape[0]
-    col_keep_flat = _global_select(all_scores, col_elems, 1.0 - s_col, forced, config.budget)
+    col_keep_flat = _global_select_reference(
+        all_scores, col_elems, 1.0 - s_col, forced, config.budget
+    )
 
     col_keeps: list[np.ndarray] = []
     offset = 0
@@ -268,7 +625,7 @@ def tw_prune_step(
     unit_scores_arr = np.array(unit_scores, dtype=np.float64)
     unit_widths_arr = np.array(unit_widths, dtype=np.float64)
     forced_arr = np.array(forced_flags, dtype=bool)
-    row_keep_flat = _global_select(
+    row_keep_flat = _global_select_reference(
         unit_scores_arr, unit_widths_arr, 1.0 - s_row, forced_arr, config.budget
     )
 
@@ -281,7 +638,7 @@ def tw_prune_step(
             row_masks[unit_layer[u]][unit_tile[u]][unit_row[u]] = True
 
     masks = [
-        tw_mask_from_tiles(m.shape, groups, rms)
+        _tw_mask_from_tiles_loop(m.shape, groups, rms)
         for m, groups, rms in zip(mats, groups_per_layer, row_masks)
     ]
     total = sum(m.size for m in mats)

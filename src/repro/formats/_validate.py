@@ -1,0 +1,29 @@
+"""Shared structural checks for the compressed sparse formats."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["first_unsorted_segment"]
+
+
+def first_unsorted_segment(indices: np.ndarray, indptr: np.ndarray) -> int | None:
+    """Index of the first segment whose indices are not strictly increasing.
+
+    ``indptr`` partitions ``indices`` into segments (CSR rows, CSC columns,
+    BSR block rows).  One vectorised adjacent-pair sweep checks every
+    segment at once: a non-increasing pair is a violation unless it
+    straddles a segment boundary.  Returns the offending segment's index,
+    or ``None`` when all segments are sorted.
+    """
+    nnz = int(indptr[-1])
+    if nnz <= 1:
+        return None
+    non_increasing = np.diff(indices) <= 0
+    boundaries = indptr[1:-1]
+    boundaries = boundaries[(boundaries > 0) & (boundaries < nnz)]
+    non_increasing[boundaries - 1] = False
+    if not np.any(non_increasing):
+        return None
+    bad = int(np.flatnonzero(non_increasing)[0])
+    return int(np.searchsorted(indptr, bad, side="right")) - 1

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.formats._validate import first_unsorted_segment
+
 __all__ = ["BSRMatrix"]
 
 
@@ -71,8 +73,7 @@ class BSRMatrix:
         keep = np.any(grid != 0.0, axis=(2, 3))
         rows, cols = np.nonzero(keep)
         indptr = np.zeros(nbr + 1, dtype=np.int64)
-        np.add.at(indptr, rows + 1, 1)
-        np.cumsum(indptr, out=indptr)
+        np.cumsum(np.bincount(rows, minlength=nbr), out=indptr[1:])
         return cls(
             shape=dense.shape,
             block_shape=(br, bc),
@@ -108,10 +109,9 @@ class BSRMatrix:
             )
         if nb and (self.indices.min() < 0 or self.indices.max() >= nbc):
             raise ValueError("block-column index out of range")
-        for r in range(nbr):
-            seg = self.indices[self.indptr[r] : self.indptr[r + 1]]
-            if seg.size > 1 and np.any(np.diff(seg) <= 0):
-                raise ValueError(f"block row {r} has unsorted or duplicate indices")
+        r = first_unsorted_segment(self.indices, self.indptr)
+        if r is not None:
+            raise ValueError(f"block row {r} has unsorted or duplicate indices")
 
     @property
     def n_blocks(self) -> int:

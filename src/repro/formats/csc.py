@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.formats._validate import first_unsorted_segment
+
 __all__ = ["CSCMatrix"]
 
 
@@ -51,8 +53,7 @@ class CSCMatrix:
         order = np.lexsort((rows, cols))
         rows, cols = rows[order], cols[order]
         indptr = np.zeros(dense.shape[1] + 1, dtype=np.int64)
-        np.add.at(indptr, cols + 1, 1)
-        np.cumsum(indptr, out=indptr)
+        np.cumsum(np.bincount(cols, minlength=dense.shape[1]), out=indptr[1:])
         return cls(
             shape=dense.shape,
             indptr=indptr,
@@ -74,10 +75,9 @@ class CSCMatrix:
             raise ValueError("indices/data length must equal indptr[-1]")
         if nnz and (self.indices.min() < 0 or self.indices.max() >= n_rows):
             raise ValueError("row index out of range")
-        for c in range(n_cols):
-            seg = self.indices[self.indptr[c] : self.indptr[c + 1]]
-            if seg.size > 1 and np.any(np.diff(seg) <= 0):
-                raise ValueError(f"column {c} has unsorted or duplicate row indices")
+        c = first_unsorted_segment(self.indices, self.indptr)
+        if c is not None:
+            raise ValueError(f"column {c} has unsorted or duplicate row indices")
 
     @property
     def nnz(self) -> int:
@@ -117,11 +117,21 @@ class CSCMatrix:
             raise ValueError(
                 f"lhs shape {dense_lhs.shape} incompatible with {self.shape}"
             )
-        out = np.zeros((dense_lhs.shape[0], self.shape[1]), dtype=np.result_type(self.data, dense_lhs))
-        cols = np.repeat(np.arange(self.shape[1]), self.col_nnz())
-        # out[:, c] += lhs[:, r] * v  for each stored (r, c, v)
-        np.add.at(out.T, cols, self.data[:, None] * dense_lhs.T[self.indices])
-        return out
+        out_dtype = np.result_type(self.data, dense_lhs)
+        if self.nnz == 0:
+            return np.zeros((dense_lhs.shape[0], self.shape[1]), dtype=out_dtype)
+        # the CSC arrays of S, read as CSR, describe Sᵀ; the shared dispatch
+        # then computes (Sᵀ @ lhsᵀ)ᵀ, accumulating each column's products in
+        # row order exactly like the scalar column-wise reference
+        from repro.formats.csr import csr_structured_matmul
+
+        out_t = csr_structured_matmul(
+            self.indptr, self.indices, self.data,
+            (self.shape[1], self.shape[0]),
+            np.ascontiguousarray(np.asarray(dense_lhs).T),
+            out_dtype,
+        )
+        return out_t.T
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSCMatrix):

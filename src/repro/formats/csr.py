@@ -13,7 +13,74 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.formats._validate import first_unsorted_segment
+
 __all__ = ["CSRMatrix"]
+
+#: bound on the materialised (entries × rhs-width) product intermediate of
+#: the pure-NumPy segment-reduction SpMM fallback, in scalar elements
+_SEGMENT_CHUNK_ELEMENTS = 2_000_000
+
+
+def csr_structured_matmul(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    shape: tuple[int, int],
+    rhs: np.ndarray,
+    out_dtype,
+) -> np.ndarray:
+    """``S @ rhs`` for any CSR-structured triple (shared CSR/CSC dispatch).
+
+    Uses SciPy's compiled kernel when available for float64 results — it
+    accumulates each segment's products sequentially in index order,
+    bit-identically to the scalar references — and falls back to the
+    chunked :func:`_segment_spmm` segment reduction otherwise.
+    """
+    try:
+        import scipy.sparse as _sp
+    except ImportError:
+        _sp = None
+    if _sp is not None and out_dtype == np.float64:
+        mat = _sp.csr_matrix((data, indices, indptr), shape=shape)
+        return np.asarray(mat @ np.asarray(rhs, dtype=np.float64))
+    return _segment_spmm(indptr, indices, data, rhs, shape[0], out_dtype)
+
+
+def _segment_spmm(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    dense_rhs: np.ndarray,
+    n_out: int,
+    out_dtype,
+) -> np.ndarray:
+    """Per-segment SpMM: gather, multiply, ``np.add.reduceat`` per row chunk.
+
+    Chunk boundaries align to segment starts (``searchsorted`` on
+    ``indptr``), so no partial segment ever crosses a chunk and the per-row
+    sums need no cross-chunk accumulation.
+    """
+    width = dense_rhs.shape[1]
+    out = np.zeros((n_out, width), dtype=out_dtype)
+    chunk_nnz = max(1, _SEGMENT_CHUNK_ELEMENTS // max(width, 1))
+    row = 0
+    while row < n_out:
+        # furthest row whose cumulative entry count stays within the chunk
+        row_end = int(
+            np.searchsorted(indptr, int(indptr[row]) + chunk_nnz, side="left")
+        ) - 1
+        row_end = min(max(row_end, row + 1), n_out)
+        lo, hi = int(indptr[row]), int(indptr[row_end])
+        if hi > lo:
+            products = data[lo:hi, None] * dense_rhs[indices[lo:hi]]
+            seg = indptr[row : row_end + 1] - lo
+            non_empty = seg[1:] > seg[:-1]
+            out[row:row_end][non_empty] = np.add.reduceat(
+                products, seg[:-1][non_empty], axis=0
+            )
+        row = row_end
+    return out
 
 
 @dataclass(frozen=True)
@@ -55,8 +122,7 @@ class CSRMatrix:
         order = np.lexsort((cols, rows))
         rows, cols = rows[order], cols[order]
         indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
-        np.add.at(indptr, rows + 1, 1)
-        np.cumsum(indptr, out=indptr)
+        np.cumsum(np.bincount(rows, minlength=dense.shape[0]), out=indptr[1:])
         return cls(
             shape=dense.shape,
             indptr=indptr,
@@ -92,11 +158,9 @@ class CSRMatrix:
             raise ValueError("indices/data length must equal indptr[-1]")
         if nnz and (self.indices.min() < 0 or self.indices.max() >= n_cols):
             raise ValueError("column index out of range")
-        # columns sorted within each row
-        for r in range(n_rows):
-            seg = self.indices[self.indptr[r] : self.indptr[r + 1]]
-            if seg.size > 1 and np.any(np.diff(seg) <= 0):
-                raise ValueError(f"row {r} has unsorted or duplicate column indices")
+        r = first_unsorted_segment(self.indices, self.indptr)
+        if r is not None:
+            raise ValueError(f"row {r} has unsorted or duplicate column indices")
 
     @property
     def nnz(self) -> int:
@@ -129,24 +193,49 @@ class CSRMatrix:
         return out
 
     def matmul_dense(self, dense_rhs: np.ndarray) -> np.ndarray:
-        """Compute ``self @ dense_rhs`` row-wise (functional reference).
+        """Compute ``self @ dense_rhs`` without a per-row Python loop.
 
-        A vectorised gather-scatter implementation: for each stored entry
-        ``(r, c, v)`` accumulate ``v * rhs[c, :]`` into row ``r``.
+        Dispatches to SciPy's compiled CSR kernel when available — it
+        accumulates each row's products sequentially in index order, i.e.
+        bit-identically to ``spmm_rowwise_reference``.  Without SciPy, a
+        row-chunked ``np.add.reduceat`` segment reduction runs instead
+        (chunking bounds the materialised ``products`` intermediate); the
+        same products are added per row, but reduceat may associate sums
+        pairwise where the scalar loop is sequential, so that path is
+        bit-exact on exactly-representable data and agrees to float
+        rounding otherwise.
         """
         dense_rhs = np.asarray(dense_rhs)
         if dense_rhs.ndim != 2 or dense_rhs.shape[0] != self.shape[1]:
             raise ValueError(
                 f"rhs shape {dense_rhs.shape} incompatible with {self.shape}"
             )
-        out = np.zeros((self.shape[0], dense_rhs.shape[1]), dtype=np.result_type(self.data, dense_rhs))
-        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz())
-        np.add.at(out, rows, self.data[:, None] * dense_rhs[self.indices])
-        return out
+        out_dtype = np.result_type(self.data, dense_rhs)
+        if self.nnz == 0:
+            return np.zeros((self.shape[0], dense_rhs.shape[1]), dtype=out_dtype)
+        return csr_structured_matmul(
+            self.indptr, self.indices, self.data, self.shape, dense_rhs, out_dtype
+        )
 
     def transpose(self) -> "CSRMatrix":
-        """Return the transpose, still in CSR (i.e. CSC of the original)."""
-        return CSRMatrix.from_dense(self.to_dense().T)
+        """Return the transpose, still in CSR (i.e. CSC of the original).
+
+        Index-level re-sort: no dense round-trip.  Explicit zeros are
+        dropped, matching the historical ``from_dense(to_dense().T)``
+        behaviour.
+        """
+        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz())
+        nz = self.data != 0.0
+        rows, cols, data = rows[nz], self.indices[nz], self.data[nz]
+        order = np.lexsort((rows, cols))
+        indptr = np.zeros(self.shape[1] + 1, dtype=np.int64)
+        np.cumsum(np.bincount(cols, minlength=self.shape[1]), out=indptr[1:])
+        return CSRMatrix(
+            shape=(self.shape[1], self.shape[0]),
+            indptr=indptr,
+            indices=rows[order].astype(np.int64),
+            data=data[order].astype(np.float64),
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRMatrix):

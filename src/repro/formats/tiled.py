@@ -152,9 +152,13 @@ class TiledTWMatrix:
             if mk.shape != (k,):
                 raise ValueError(f"row mask length {mk.shape[0]} != K={k}")
             rows = np.flatnonzero(mk)
-            data = dense[np.ix_(rows, cols)] if rows.size and cols.size else np.zeros(
-                (rows.size, cols.size)
-            )
+            if rows.size and cols.size:
+                # two-step gather: the row gather copies contiguous rows,
+                # leaving only a small per-row column gather (much faster
+                # than one np.ix_ fancy index at model scale)
+                data = dense[rows][:, cols]
+            else:
+                data = np.zeros((rows.size, cols.size))
             tiles.append(TWTile(cols.astype(np.int64), mk, np.ascontiguousarray(data)))
         return cls(shape=(k, n), granularity=granularity, tiles=tuple(tiles))
 
@@ -174,17 +178,17 @@ class TiledTWMatrix:
             raise ValueError(f"granularity must be positive, got {granularity}")
         col_keep = np.asarray(col_keep, dtype=bool)
         survivors = np.flatnonzero(col_keep)
-        groups: list[np.ndarray] = []
+        if survivors.size == 0:
+            return []
         if reorganize:
-            for start in range(0, survivors.size, granularity):
-                groups.append(survivors[start : start + granularity])
+            cuts = np.arange(granularity, survivors.size, granularity)
         else:
+            # one binary search per panel boundary instead of a boolean
+            # scan of all survivors per panel
             n = col_keep.shape[0]
-            for start in range(0, n, granularity):
-                panel = survivors[(survivors >= start) & (survivors < start + granularity)]
-                if panel.size:
-                    groups.append(panel)
-        return groups
+            cuts = np.searchsorted(survivors, np.arange(granularity, n, granularity))
+        groups = np.split(survivors, cuts)
+        return [g for g in groups if g.size]
 
     # ------------------------------------------------------------------ #
     # validation & properties

@@ -36,6 +36,11 @@ class Calibration:
     tc_k_half_sat:
         Reduction-depth at which tensor-core efficiency reaches half of its
         ceiling (short-K GEMMs cannot amortise the pipeline).
+    cuda_k_half_sat:
+        CUDA-core counterpart of ``tc_k_half_sat``: SGEMM saturates its SIMT
+        pipeline with a much shorter main loop (no MMA fragment to fill).
+        Shared by the dense CUDA-core engine and the TW kernel's CUDA-core
+        branch so the two cannot drift apart.
     spmm_efficiency:
         cuSparse csrmm effective FLOP fraction of CUDA-core peak.  Public
         studies measure 2–8 % for DNN-shaped matrices at 50–95 % sparsity;
@@ -91,6 +96,7 @@ class Calibration:
     tc_dense_efficiency: float = 0.62
     cuda_dense_efficiency: float = 0.75
     tc_k_half_sat: float = 96.0
+    cuda_k_half_sat: float = 24.0
     spmm_efficiency: float = 0.045
     spmm_gather_bytes_per_nnz: float = 24.0
     bs_block_efficiency: tuple[tuple[int, float], ...] = (

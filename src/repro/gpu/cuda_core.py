@@ -24,9 +24,6 @@ from repro.gpu.tensor_core import CANDIDATE_TILES, _tile_size_factor
 
 __all__ = ["dense_gemm_cuda_cost"]
 
-#: CUDA-core SGEMM saturates its pipeline with a much shorter main loop.
-_CUDA_K_HALF_SAT = 24.0
-
 
 def _tile_efficiency(
     m: int, n: int, k: int, tile: TileConfig, device: DeviceSpec, calib: Calibration
@@ -37,7 +34,7 @@ def _tile_efficiency(
         * _tile_size_factor(tile)
         * tile_quantization(m, n, tile.ty, tile.g)
         * wave_efficiency(gm * gn, device)
-        * short_k_efficiency(k, _CUDA_K_HALF_SAT)
+        * short_k_efficiency(k, calib.cuda_k_half_sat)
     )
 
 

@@ -214,7 +214,7 @@ def _tile_efficiency(kt: int, nt: int, calib: Calibration, engine: str) -> float
         h = calib.tw_g_half_sat
     else:
         base = calib.cuda_dense_efficiency
-        k_half = 24.0  # matches cuda_core engine's saturation
+        k_half = calib.cuda_k_half_sat  # shared with the cuda_core engine
         h = calib.tw_g_half_sat / 2.0
     g_sat = min(1.0, (nt / (nt + h)) * ((128.0 + h) / 128.0))
     # The masked A-tile gather is issued per surviving K-row and amortised

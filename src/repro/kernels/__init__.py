@@ -13,6 +13,20 @@ and cost separate lets tests pin numerical equivalence (e.g. TW masked GEMM
 - :mod:`repro.kernels.im2col` — convolution→GEMM lowering.
 - :mod:`repro.kernels.transpose` — blocked layout transforms.
 - :mod:`repro.kernels.fusion` — fused non-GEMM epilogues.
+
+Vectorisation contract
+----------------------
+Every hot-path kernel runs as batched array operations (segment reductions,
+panel copies, BLAS sweeps); the scalar loop implementations are *kept* as
+named ``*_reference`` oracles (``spmm_rowwise_reference``,
+``spmm_colwise_reference``, ``blocked_transpose_reference``, and
+``tw_prune_step_reference`` in :mod:`repro.core.tile_sparsity`).  Fast paths
+must match their oracle **exactly** — bit-identical outputs, not approximate
+— because they add the same products in the same order (segment reductions)
+or on exactly-representable inputs (selection thresholds over integer unit
+weights).  ``tests/test_vectorized_paths.py`` enforces the contract, and
+``benchmarks/bench_hotpaths.py`` tracks the speedups in
+``BENCH_hotpaths.json``; run it after touching any of these paths.
 """
 
 from repro.kernels.dense import gemm, tiled_gemm

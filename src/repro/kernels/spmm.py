@@ -18,16 +18,32 @@ import numpy as np
 from repro.formats.csc import CSCMatrix
 from repro.formats.csr import CSRMatrix
 
-__all__ = ["csr_spmm", "csc_left_spmm", "spmm_rowwise_reference"]
+__all__ = [
+    "csr_spmm",
+    "csc_left_spmm",
+    "spmm_rowwise_reference",
+    "spmm_colwise_reference",
+]
 
 
 def csr_spmm(sparse: CSRMatrix, dense: np.ndarray) -> np.ndarray:
-    """``sparse @ dense`` with a CSR left operand (cuSparse ``csrmm``)."""
+    """``sparse @ dense`` with a CSR left operand (cuSparse ``csrmm``).
+
+    Vectorised as a per-row segment reduction (``np.add.reduceat`` over the
+    row boundaries); :func:`spmm_rowwise_reference` stays as the scalar
+    oracle — outputs are bit-identical on exactly-representable data and
+    agree to summation-order rounding otherwise.
+    """
     return sparse.matmul_dense(dense)
 
 
 def csc_left_spmm(dense: np.ndarray, sparse: CSCMatrix) -> np.ndarray:
-    """``dense @ sparse`` with a CSC right operand (the TEW residual pass)."""
+    """``dense @ sparse`` with a CSC right operand (the TEW residual pass).
+
+    Vectorised as a per-column segment reduction against
+    :func:`spmm_colwise_reference`, the scalar oracle (same exactness
+    contract as :func:`csr_spmm`).
+    """
     return sparse.left_matmul_dense(dense)
 
 
@@ -46,4 +62,21 @@ def spmm_rowwise_reference(sparse: CSRMatrix, dense: np.ndarray) -> np.ndarray:
         lo, hi = sparse.indptr[r], sparse.indptr[r + 1]
         for p in range(lo, hi):
             out[r] += sparse.data[p] * dense[sparse.indices[p]]
+    return out
+
+
+def spmm_colwise_reference(dense: np.ndarray, sparse: CSCMatrix) -> np.ndarray:
+    """Scalar column-wise ``dense @ sparse`` used to cross-check CSC SpMM.
+
+    Mirrors the one-thread-per-column schedule of the TEW residual pass:
+    each output column gathers ``dense[:, row]`` for its non-zeros.
+    """
+    dense = np.asarray(dense)
+    if dense.ndim != 2 or dense.shape[1] != sparse.shape[0]:
+        raise ValueError(f"lhs shape {dense.shape} incompatible with {sparse.shape}")
+    out = np.zeros((dense.shape[0], sparse.shape[1]), dtype=np.float64)
+    for c in range(sparse.shape[1]):
+        lo, hi = sparse.indptr[c], sparse.indptr[c + 1]
+        for p in range(lo, hi):
+            out[:, c] += sparse.data[p] * dense[:, sparse.indices[p]]
     return out

@@ -131,27 +131,42 @@ class InferenceEngine:
     ) -> None:
         self.device = device
         self.calib = calib
+        # per-engine memos: a model prices the same GEMM geometry many times
+        # (every layer against its dense baseline, repeated plan shapes,
+        # synthetic tile geometries), and the cost models are pure functions
+        # of (geometry, device, calib), both fixed per engine instance
+        self._dense_cost_cache: dict[tuple[int, int, int, str], CostBreakdown] = {}
+        self._synthetic_cache: dict[tuple[int, int, int, float, int], TWShapeStats] = {}
 
     # ------------------------------------------------------------------ #
     # single GEMM
     # ------------------------------------------------------------------ #
     def _dense_cost(self, shape: GemmShape, config: EngineConfig) -> CostBreakdown:
-        if config.engine == "tensor_core":
-            return dense_gemm_tc_cost(
-                shape.m, shape.n, shape.k, self.device, self.calib
-            )
-        return dense_gemm_cuda_cost(shape.m, shape.n, shape.k, self.device, self.calib)
+        key = (shape.m, shape.n, shape.k, config.engine)
+        hit = self._dense_cost_cache.get(key)
+        if hit is None:
+            if config.engine == "tensor_core":
+                hit = dense_gemm_tc_cost(shape.m, shape.n, shape.k, self.device, self.calib)
+            else:
+                hit = dense_gemm_cuda_cost(shape.m, shape.n, shape.k, self.device, self.calib)
+            self._dense_cost_cache[key] = hit
+        # CostBreakdown (and its counters) are mutable — hand each caller a
+        # copy that shares nothing with the cache entry
+        return replace(hit, counters=replace(hit.counters))
 
     def _tw_stats(self, plan: LayerPlan, sparsity: float | None = None) -> TWShapeStats:
         if plan.tw_stats is not None and sparsity is None:
             return plan.tw_stats
-        return TWShapeStats.synthetic(
-            plan.shape.k,
-            plan.shape.n,
-            plan.granularity,
-            plan.sparsity if sparsity is None else sparsity,
-            seed=hash((plan.shape.k, plan.shape.n, plan.granularity)) % (2**31),
-        )
+        s = plan.sparsity if sparsity is None else sparsity
+        seed = hash((plan.shape.k, plan.shape.n, plan.granularity)) % (2**31)
+        key = (plan.shape.k, plan.shape.n, plan.granularity, s, seed)
+        hit = self._synthetic_cache.get(key)
+        if hit is None:
+            hit = TWShapeStats.synthetic(
+                plan.shape.k, plan.shape.n, plan.granularity, s, seed=seed
+            )
+            self._synthetic_cache[key] = hit
+        return hit
 
     def gemm_cost(self, plan: LayerPlan, config: EngineConfig) -> CostBreakdown:
         """Price one occurrence of the layer's GEMM under its pattern."""
@@ -221,13 +236,13 @@ class InferenceEngine:
             kernels += bd.kernels * plan.shape.count
             n_gemms += plan.shape.count
 
+        # the dense-cost memo makes this Amdahl baseline free for layers
+        # whose gemm_cost above already priced the same dense geometry
         dense_gemm_us = sum(
             self._dense_cost(p.shape, config).total_us * p.shape.count for p in plans
         )
         frac = nongemm_time_fraction(model_name, fused=config.fusion)
         nongemm_us = dense_gemm_us * frac / (1.0 - frac)
-        if config.fusion:
-            nongemm_us *= 1.0  # fraction table already reflects fusion
         needs_transpose = any(p.pattern in ("tw", "tew") for p in plans)
         transpose_us = 0.0
         if needs_transpose and config.transpose.mode == "per_layer":

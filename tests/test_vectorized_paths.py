@@ -1,0 +1,408 @@
+"""Vectorized-vs-reference equivalence: the vectorisation contract.
+
+Every fast path must produce *bit-identical* outputs to its scalar oracle
+(see the contract notes in ``repro.kernels`` and
+``repro.core.tile_sparsity``):
+
+- ``_global_select``            vs ``_global_select_reference``
+- ``tw_prune_step``             vs ``tw_prune_step_reference``
+- ``csr_spmm`` / ``csc_left_spmm`` vs the scalar row-/column-wise loops
+- ``blocked_transpose``         vs ``blocked_transpose_reference``
+- ``tw_mask_from_tiles``        vs its per-tile scatter loop
+- ``CSRMatrix.transpose``       vs the dense round-trip it replaced
+
+Selection equivalence over arbitrary score/weight arrays is exercised with
+heavy tie pressure (small-integer scores) because tie-breaking order is part
+of the contract.  Full prune-step equivalence uses integer-valued score
+matrices — there every unit score is exactly representable, so the fast
+path's re-associated summations are provably exact — plus seeded continuous
+data, where the deterministic seeds pin the behaviour.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.importance import row_unit_scores, row_unit_scores_matrix
+from repro.core.masks import _tw_mask_from_tiles_loop, tw_mask_from_tiles
+from repro.core.tile_sparsity import (
+    TWPruneConfig,
+    _global_select,
+    _global_select_reference,
+    tw_prune_step,
+    tw_prune_step_reference,
+)
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.tiled import TiledTWMatrix
+from repro.kernels.spmm import (
+    csc_left_spmm,
+    csr_spmm,
+    spmm_colwise_reference,
+    spmm_rowwise_reference,
+)
+from repro.kernels.transpose import blocked_transpose, blocked_transpose_reference
+
+
+def assert_step_equal(a, b):
+    assert len(a.masks) == len(b.masks)
+    for x, y in zip(a.col_keeps, b.col_keeps):
+        np.testing.assert_array_equal(x, y)
+    for ga, gb in zip(a.column_groups, b.column_groups):
+        assert len(ga) == len(gb)
+        for x, y in zip(ga, gb):
+            np.testing.assert_array_equal(x, y)
+    for ra, rb in zip(a.row_masks, b.row_masks):
+        assert len(ra) == len(rb)
+        for x, y in zip(ra, rb):
+            np.testing.assert_array_equal(x, y)
+    for x, y in zip(a.masks, b.masks):
+        np.testing.assert_array_equal(x, y)
+    assert a.achieved_sparsity == b.achieved_sparsity
+
+
+class TestGlobalSelect:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.sampled_from(["elements", "units"]),
+        st.sampled_from(["ties", "continuous", "constant", "inf"]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference(self, seed, budget, style):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 80))
+        if style == "ties":
+            scores = rng.integers(0, 4, n).astype(float)
+        elif style == "continuous":
+            scores = rng.standard_normal(n)
+        elif style == "constant":
+            scores = np.full(n, 3.0)
+        else:
+            scores = rng.integers(0, 4, n).astype(float)
+            if n:
+                scores[rng.integers(0, n)] = np.inf
+        weights = rng.integers(0, 9, n).astype(float)
+        forced = rng.random(n) < 0.2
+        keep_frac = float(rng.choice([0.0, 0.1, 0.5, 0.9, 1.0, rng.random()]))
+        got = _global_select(scores, weights, keep_frac, forced, budget)
+        want = _global_select_reference(scores, weights, keep_frac, forced, budget)
+        np.testing.assert_array_equal(got, want)
+
+    def test_nan_scores_fall_back_consistently(self):
+        scores = np.array([1.0, np.nan, 3.0, np.nan, 2.0])
+        weights = np.ones(5)
+        forced = np.zeros(5, dtype=bool)
+        for budget in ("elements", "units"):
+            got = _global_select(scores, weights, 0.6, forced, budget)
+            want = _global_select_reference(scores, weights, 0.6, forced, budget)
+            np.testing.assert_array_equal(got, want)
+
+    def test_tie_breaking_prefers_low_index(self):
+        # four identical scores, budget for two: the two lowest indices win
+        scores = np.full(4, 7.0)
+        keep = _global_select(scores, np.ones(4), 0.5, np.zeros(4, bool), "elements")
+        np.testing.assert_array_equal(keep, [True, True, False, False])
+
+
+class TestPruneStepEquivalence:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 3),
+        st.sampled_from(["elements", "units"]),
+        st.sampled_from(["sum", "mean", "l2"]),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_integer_scores_bit_identical(self, seed, layers, budget, reduction, reorg):
+        rng = np.random.default_rng(seed)
+        mats = [
+            rng.integers(0, 50, (int(rng.integers(1, 40)), int(rng.integers(1, 50))))
+            .astype(float)
+            for _ in range(layers)
+        ]
+        cfg = TWPruneConfig(
+            granularity=int(rng.integers(1, 12)),
+            col_row_split=float(rng.choice([0.0, 0.3, 0.5, 1.0])),
+            reorganize=reorg,
+            reduction=reduction,
+            min_keep_cols=int(rng.integers(0, 3)),
+            min_keep_rows=int(rng.integers(0, 3)),
+            budget=budget,
+        )
+        target = float(rng.uniform(0.0, 0.95))
+        assert_step_equal(
+            tw_prune_step(mats, target, cfg),
+            tw_prune_step_reference(mats, target, cfg),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_continuous_scores_seeded(self, seed):
+        rng = np.random.default_rng(seed)
+        mats = [np.abs(rng.standard_normal((24, 40))), np.abs(rng.standard_normal((16, 33)))]
+        cfg = TWPruneConfig(granularity=8, budget=["elements", "units"][seed % 2])
+        target = float(rng.uniform(0.0, 0.9))
+        assert_step_equal(
+            tw_prune_step(mats, target, cfg),
+            tw_prune_step_reference(mats, target, cfg),
+        )
+
+    def test_narrow_tile_gather_path(self):
+        # > 768 groups triggers the bulk-gather scoring branch
+        rng = np.random.default_rng(9)
+        mats = [rng.integers(0, 20, (8, 1600)).astype(float)]
+        cfg = TWPruneConfig(granularity=1, min_keep_cols=0, min_keep_rows=0)
+        assert_step_equal(
+            tw_prune_step(mats, 0.3, cfg),
+            tw_prune_step_reference(mats, 0.3, cfg),
+        )
+
+    def test_nan_score_matrix_matches_reference(self):
+        # a NaN element makes its column/tile-row scores NaN; the fast
+        # path's argmax shortcut and quickselect must fall back so the
+        # forced sets and selections still match the stable-sort oracle
+        rng = np.random.default_rng(11)
+        mats = [rng.integers(1, 30, (12, 24)).astype(float)]
+        mats[0][3, 7] = np.nan
+        cfg = TWPruneConfig(granularity=4)
+        assert_step_equal(
+            tw_prune_step(mats, 0.5, cfg),
+            tw_prune_step_reference(mats, 0.5, cfg),
+        )
+
+    def test_inf_in_pruned_column_matches_reference(self):
+        # an inf importance score in a column that loses phase-1 pruning
+        # sits inside a surviving tile's span; the span-dgemv would compute
+        # 0*inf = NaN without the recompute guard
+        rng = np.random.default_rng(12)
+        mats = [rng.integers(1, 30, (12, 24)).astype(float)]
+        adjust = [rng.integers(1, 30, 24).astype(float)]
+        adjust[0][5] = 0.0  # force column 5 to be pruned in phase 1
+        mats[0][:, 5] = np.inf
+        cfg = TWPruneConfig(granularity=4, min_keep_cols=0)
+        assert_step_equal(
+            tw_prune_step(mats, 0.5, cfg, column_score_adjust=adjust),
+            tw_prune_step_reference(mats, 0.5, cfg, column_score_adjust=adjust),
+        )
+
+    def test_apriori_adjust_paths_agree(self):
+        rng = np.random.default_rng(10)
+        mats = [rng.integers(0, 30, (12, 24)).astype(float)]
+        adjust = [rng.integers(0, 30, 24).astype(float)]
+        cfg = TWPruneConfig(granularity=4)
+        assert_step_equal(
+            tw_prune_step(mats, 0.5, cfg, column_score_adjust=adjust),
+            tw_prune_step_reference(mats, 0.5, cfg, column_score_adjust=adjust),
+        )
+
+
+class TestRowUnitScores:
+    @given(st.integers(0, 2**32 - 1), st.sampled_from(["sum", "mean", "l2"]))
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_matches_per_tile_on_integers(self, seed, reduction):
+        rng = np.random.default_rng(seed)
+        k, n = int(rng.integers(1, 20)), int(rng.integers(1, 40))
+        scores = rng.integers(0, 9, (k, n)).astype(float)
+        keep = rng.random(n) < 0.7
+        groups = TiledTWMatrix.column_groups(keep, int(rng.integers(1, 8)))
+        got = row_unit_scores_matrix(scores, groups, reduction)
+        want = row_unit_scores(scores, groups, reduction)
+        assert got.shape == (len(groups), k)
+        for t, w in enumerate(want):
+            np.testing.assert_array_equal(got[t], w)
+
+    def test_unsorted_group_falls_back(self):
+        scores = np.arange(12.0).reshape(3, 4)
+        groups = [np.array([2, 0])]  # unsorted → reference gather path
+        got = row_unit_scores_matrix(scores, groups, "sum")
+        np.testing.assert_array_equal(got[0], scores[:, [2, 0]].sum(axis=1))
+
+    def test_empty_group_scores_zero_under_mean(self):
+        # many uniform-width groups with an empty straggler: the bulk-gather
+        # branch must not divide 0/0 — empty groups score 0 like the oracle
+        scores = np.ones((2, 400))
+        groups = [np.array([i]) for i in range(250)] + [np.array([], dtype=np.int64)]
+        got = row_unit_scores_matrix(scores, groups, "mean", assume_sorted=True)
+        want = row_unit_scores(scores, groups, "mean")
+        for t, w in enumerate(want):
+            np.testing.assert_array_equal(got[t], w)
+        assert not np.isnan(got).any()
+
+
+class TestSpMM:
+    # dyadic-rational operands: every product and partial sum is exactly
+    # representable, so segment reduction must be BIT-identical regardless
+    # of summation association; continuous operands then pin agreement to
+    # summation-order rounding (the documented contract)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_csr_bit_identical_on_dyadic(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k, b = int(rng.integers(1, 30)), int(rng.integers(1, 30)), int(rng.integers(1, 8))
+        w = rng.integers(-8, 9, (m, k)) * 0.25 * (rng.random((m, k)) < 0.3)
+        csr = CSRMatrix.from_dense(w)
+        rhs = rng.integers(-8, 9, (k, b)) * 0.5
+        np.testing.assert_array_equal(
+            csr_spmm(csr, rhs), spmm_rowwise_reference(csr, rhs)
+        )
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_csc_bit_identical_on_dyadic(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k, b = int(rng.integers(1, 30)), int(rng.integers(1, 30)), int(rng.integers(1, 8))
+        w = rng.integers(-8, 9, (k, m)) * 0.25 * (rng.random((k, m)) < 0.3)
+        csc = CSCMatrix.from_dense(w)
+        lhs = rng.integers(-8, 9, (b, k)) * 0.5
+        np.testing.assert_array_equal(
+            csc_left_spmm(lhs, csc), spmm_colwise_reference(lhs, csc)
+        )
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_continuous_within_rounding(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k, b = int(rng.integers(1, 40)), int(rng.integers(1, 40)), int(rng.integers(1, 8))
+        w = rng.standard_normal((m, k)) * (rng.random((m, k)) < 0.4)
+        csr = CSRMatrix.from_dense(w)
+        rhs = rng.standard_normal((k, b))
+        np.testing.assert_allclose(
+            csr_spmm(csr, rhs), spmm_rowwise_reference(csr, rhs),
+            rtol=0, atol=1e-12,
+        )
+
+    def test_empty_rows_and_matrix(self):
+        w = np.zeros((4, 5))
+        w[1, 2] = 3.0
+        csr = CSRMatrix.from_dense(w)
+        rhs = np.ones((5, 2))
+        np.testing.assert_array_equal(
+            csr_spmm(csr, rhs), spmm_rowwise_reference(csr, rhs)
+        )
+        empty = CSRMatrix.from_dense(np.zeros((3, 4)))
+        np.testing.assert_array_equal(
+            csr_spmm(empty, np.ones((4, 2))), np.zeros((3, 2))
+        )
+
+
+class TestTranspose:
+    @given(
+        st.integers(1, 90),
+        st.integers(1, 90),
+        st.sampled_from([1, 3, 64, 200]),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical(self, m, n, block, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        got = blocked_transpose(a, block)
+        np.testing.assert_array_equal(got, blocked_transpose_reference(a, block))
+        np.testing.assert_array_equal(got, np.ascontiguousarray(a.T))
+        assert got.flags.c_contiguous
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            blocked_transpose(np.ones(3))
+        with pytest.raises(ValueError):
+            blocked_transpose(np.ones((2, 2)), block=0)
+        with pytest.raises(ValueError):
+            blocked_transpose_reference(np.ones((2, 2)), block=-1)
+
+
+class TestMaskFromTiles:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scatter_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        k, n = int(rng.integers(1, 20)), int(rng.integers(1, 40))
+        keep = rng.random(n) < 0.6
+        groups = TiledTWMatrix.column_groups(keep, int(rng.integers(1, 8)))
+        row_masks = [rng.random(k) < 0.5 for _ in groups]
+        got = tw_mask_from_tiles((k, n), groups, row_masks)
+        want = _tw_mask_from_tiles_loop((k, n), groups, row_masks)
+        np.testing.assert_array_equal(got, want)
+
+    def test_duplicate_columns_use_union_semantics(self):
+        # two tiles owning the same column: the loop ORs their rows; the
+        # fast path must detect the overlap and fall back rather than let
+        # the second tile overwrite the first
+        groups = [np.array([0, 1]), np.array([1, 2])]
+        row_masks = [np.array([True, False]), np.array([False, True])]
+        got = tw_mask_from_tiles((2, 3), groups, row_masks)
+        np.testing.assert_array_equal(
+            got, _tw_mask_from_tiles_loop((2, 3), groups, row_masks)
+        )
+        assert got[0, 1] and got[1, 1]  # both tiles' rows survive on col 1
+
+    def test_rejects_bad_row_mask_length(self):
+        with pytest.raises(ValueError):
+            tw_mask_from_tiles((3, 4), [np.array([0])], [np.ones(2, dtype=bool)])
+        with pytest.raises(ValueError):
+            tw_mask_from_tiles((3, 4), [np.array([0])], [])
+
+
+class TestCSRTranspose:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dense_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k = int(rng.integers(1, 25)), int(rng.integers(1, 25))
+        w = rng.standard_normal((m, k)) * (rng.random((m, k)) < 0.4)
+        csr = CSRMatrix.from_dense(w)
+        got = csr.transpose()
+        want = CSRMatrix.from_dense(csr.to_dense().T)
+        assert got == want
+
+    def test_explicit_zeros_dropped(self):
+        # hand-built CSR with an explicit zero: the historical dense
+        # round-trip dropped it, so the index-level transpose must too
+        csr = CSRMatrix(
+            shape=(2, 2),
+            indptr=np.array([0, 2, 2], dtype=np.int64),
+            indices=np.array([0, 1], dtype=np.int64),
+            data=np.array([5.0, 0.0]),
+        )
+        t = csr.transpose()
+        assert t.nnz == 1
+        assert t == CSRMatrix.from_dense(csr.to_dense().T)
+
+
+class TestValidatorsStillRaise:
+    def test_csr_unsorted_row(self):
+        with pytest.raises(ValueError, match="row 1 has unsorted"):
+            CSRMatrix(
+                shape=(2, 4),
+                indptr=np.array([0, 1, 3], dtype=np.int64),
+                indices=np.array([0, 2, 1], dtype=np.int64),
+                data=np.ones(3),
+            )
+
+    def test_csr_duplicate_column(self):
+        with pytest.raises(ValueError, match="unsorted or duplicate"):
+            CSRMatrix(
+                shape=(1, 4),
+                indptr=np.array([0, 2], dtype=np.int64),
+                indices=np.array([1, 1], dtype=np.int64),
+                data=np.ones(2),
+            )
+
+    def test_csr_sorted_across_boundary_ok(self):
+        # column index drops across a row boundary — legal, and the
+        # vectorised adjacent-pair check must not flag it
+        CSRMatrix(
+            shape=(2, 4),
+            indptr=np.array([0, 2, 4], dtype=np.int64),
+            indices=np.array([2, 3, 0, 1], dtype=np.int64),
+            data=np.ones(4),
+        )
+
+    def test_csc_unsorted_column(self):
+        with pytest.raises(ValueError, match="column 0 has unsorted"):
+            CSCMatrix(
+                shape=(4, 2),
+                indptr=np.array([0, 2, 2], dtype=np.int64),
+                indices=np.array([2, 1], dtype=np.int64),
+                data=np.ones(2),
+            )
