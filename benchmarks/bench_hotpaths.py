@@ -20,6 +20,12 @@ future PR has a perf trajectory to regress against:
 - **end_to_end** — ``InferenceEngine.end_to_end`` over the BERT-base plan
   set, cold engine vs warm engine (the per-engine dense-cost and synthetic
   tile-stats memos).
+- **tw_gemm** — the width-grouped batched TW executor against the
+  one-kernel-per-tile ``tw_gemm_reference`` oracle on BERT-base FFN
+  geometry (768×3072), at serving batch sizes and dtypes.  The batched
+  path replays the plan's memoised group operands, as a serving loop does.
+- **server** — ``TWModelServer`` cold-vs-warm request latency (format/plan
+  cache amortisation) and micro-batched vs sequential throughput.
 
 Usage::
 
@@ -218,6 +224,132 @@ def bench_end_to_end(quick: bool) -> dict:
     }
 
 
+def bench_tw_gemm(quick: bool) -> dict:
+    from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
+    from repro.formats.tiled import TiledTWMatrix
+    from repro.kernels.masked import tw_gemm, tw_gemm_reference
+
+    if quick:
+        configs = [(128, 8, 0.5, "float64")]
+    else:
+        configs = [
+            (128, 8, 0.5, "float64"),
+            (128, 8, 0.5, "float32"),
+            (64, 16, 0.75, "float64"),
+            (256, 16, 0.75, "float32"),
+            (8192, 128, 0.75, "float64"),
+        ]
+    rng = np.random.default_rng(4)
+    dense = rng.standard_normal((BERT_K, BERT_N))
+    rows = []
+    steps = {}
+    for m, g, sparsity, dtype in configs:
+        if (g, sparsity) not in steps:
+            steps[(g, sparsity)] = tw_prune_step(
+                [np.abs(dense)], sparsity, TWPruneConfig(granularity=g)
+            )
+        step = steps[(g, sparsity)]
+        tw = TiledTWMatrix.from_masks(
+            dense, g, step.col_keeps[0], step.row_masks[0], dtype=np.dtype(dtype)
+        )
+        a = rng.standard_normal((m, BERT_K)).astype(dtype)
+        tw_gemm(a, tw)  # build plan + group operands once, as a server would
+        reps = 1 if m > 1024 else 3
+        ref_ms = _best_of(lambda: tw_gemm_reference(a, tw), reps)
+        bat_ms = _best_of(lambda: tw_gemm(a, tw), reps + 2)
+        rows.append(
+            {
+                "m": m,
+                "granularity": g,
+                "sparsity": sparsity,
+                "dtype": dtype,
+                "n_tiles": tw.n_tiles,
+                "reference_ms": round(ref_ms, 2),
+                "batched_ms": round(bat_ms, 2),
+                "speedup": round(ref_ms / bat_ms, 1),
+            }
+        )
+        print(
+            f"twgemm m={m:<5d} G={g:<3d} s={sparsity:.2f} {dtype:<7s} "
+            f"ref {ref_ms:8.2f}ms  bat {bat_ms:7.2f}ms  {ref_ms / bat_ms:5.1f}x"
+        )
+    return {
+        "scale": f"{BERT_K}x{BERT_N}",
+        "configs": rows,
+        "headline_speedup": max(r["speedup"] for r in rows),
+    }
+
+
+def bench_server(quick: bool) -> dict:
+    from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
+    from repro.runtime.server import ServerConfig, TWModelServer
+
+    n_layers, k, g, sparsity = 4, 768, 16, 0.75
+    rng = np.random.default_rng(5)
+    weights = [rng.standard_normal((k, k)) for _ in range(n_layers)]
+    cfg = TWPruneConfig(granularity=g)
+    pruned = []
+    for w in weights:
+        step = tw_prune_step([np.abs(w)], sparsity, cfg)
+        pruned.append((w, step.col_keeps[0], step.row_masks[0]))
+
+    def build() -> TWModelServer:
+        server = TWModelServer(ServerConfig(granularity=g, dtype="float32"))
+        for w, ck, rm in pruned:
+            server.add_layer(w, ck, rm)
+        return server
+
+    x = rng.standard_normal((32, k)).astype(np.float32)
+    server = build()
+    t0 = time.perf_counter()
+    server.serve(x)
+    cold_ms = (time.perf_counter() - t0) * 1e3
+    warm_ms = _best_of(lambda: server.serve(x), 3 if quick else 5)
+    assert server.stats.format_misses == n_layers
+    assert server.stats.format_hits >= n_layers  # warm requests hit the cache
+
+    n_req, req_rows = (16, 8) if quick else (64, 8)
+    reqs = [rng.standard_normal((req_rows, k)).astype(np.float32) for _ in range(n_req)]
+    seq_server = build()
+    seq_server.warm()
+    t0 = time.perf_counter()
+    for r in reqs:
+        seq_server.serve(r)
+    seq_s = time.perf_counter() - t0
+    mb_server = build()
+    mb_server.warm()
+    t0 = time.perf_counter()
+    for r in reqs:
+        mb_server.submit(r)
+    mb_server.flush()
+    mb_s = time.perf_counter() - t0
+    total_rows = n_req * req_rows
+    print(
+        f"server cold {cold_ms:8.2f}ms  warm {warm_ms:7.2f}ms  "
+        f"{cold_ms / warm_ms:5.1f}x amortized"
+    )
+    print(
+        f"server seq {total_rows / seq_s:9.0f} rows/s  microbatched "
+        f"{total_rows / mb_s:9.0f} rows/s  {seq_s / mb_s:5.1f}x"
+    )
+    return {
+        "model": f"{n_layers}x({k}x{k})",
+        "granularity": g,
+        "sparsity": sparsity,
+        "dtype": "float32",
+        "cold_request_ms": round(cold_ms, 2),
+        "warm_request_ms": round(warm_ms, 2),
+        "cache_amortization": round(cold_ms / warm_ms, 1),
+        "throughput": {
+            "requests": n_req,
+            "rows_per_request": req_rows,
+            "sequential_rows_per_s": round(total_rows / seq_s),
+            "microbatched_rows_per_s": round(total_rows / mb_s),
+            "microbatch_speedup": round(seq_s / mb_s, 1),
+        },
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="reduced sweep")
@@ -244,6 +376,8 @@ def main() -> None:
         "transpose": bench_transpose(args.quick),
         "formats": bench_formats(args.quick),
         "end_to_end": bench_end_to_end(args.quick),
+        "tw_gemm": bench_tw_gemm(args.quick),
+        "server": bench_server(args.quick),
     }
     args.out.write_text(json.dumps(record, indent=1) + "\n")
     print(f"wrote {args.out}")

@@ -48,8 +48,10 @@ class TWTile:
     mask_k:
         ``bool[K]`` — True for rows kept by row pruning in this tile.
     data:
-        ``float64[kept_k, kept_n]`` compact dense payload,
-        ``data[a, b] = B[rows_kept[a], col_indices[b]]``.
+        ``float[kept_k, kept_n]`` compact dense payload,
+        ``data[a, b] = B[rows_kept[a], col_indices[b]]`` — ``float64`` by
+        default, ``float32``/``float16`` when the serving path compacts at
+        reduced precision.
     """
 
     col_indices: np.ndarray
@@ -118,6 +120,7 @@ class TiledTWMatrix:
         row_masks: list[np.ndarray],
         *,
         reorganize: bool = True,
+        dtype: np.dtype | type | None = np.float64,
     ) -> "TiledTWMatrix":
         """Compact ``dense`` under a column keep-mask and per-tile row masks.
 
@@ -135,8 +138,12 @@ class TiledTWMatrix:
         reorganize:
             If True (paper default), group *surviving* columns ``G`` at a
             time; otherwise keep the original fixed panel boundaries.
+        dtype:
+            Payload dtype of the compact tiles (``float64`` default, the
+            historical behaviour).  ``None`` keeps ``dense``'s own dtype so
+            float32 weights compact — and later serve — without promotion.
         """
-        dense = np.asarray(dense, dtype=np.float64)
+        dense = np.asarray(dense, dtype=dtype)
         if dense.ndim != 2:
             raise ValueError(f"expected 2-D array, got ndim={dense.ndim}")
         k, n = dense.shape
@@ -158,7 +165,7 @@ class TiledTWMatrix:
                 # than one np.ix_ fancy index at model scale)
                 data = dense[rows][:, cols]
             else:
-                data = np.zeros((rows.size, cols.size))
+                data = np.zeros((rows.size, cols.size), dtype=dense.dtype)
             tiles.append(TWTile(cols.astype(np.int64), mk, np.ascontiguousarray(data)))
         return cls(shape=(k, n), granularity=granularity, tiles=tuple(tiles))
 
@@ -220,6 +227,11 @@ class TiledTWMatrix:
         return len(self.tiles)
 
     @property
+    def dtype(self) -> np.dtype:
+        """Payload dtype of the compact tiles (``float64`` when empty)."""
+        return self.tiles[0].data.dtype if self.tiles else np.dtype(np.float64)
+
+    @property
     def kept_columns(self) -> int:
         """Total surviving columns across tiles."""
         return sum(t.kept_n for t in self.tiles)
@@ -261,7 +273,7 @@ class TiledTWMatrix:
 
     def to_dense(self) -> np.ndarray:
         """Expand back to the logical dense ``K×N`` array (zeros where pruned)."""
-        out = np.zeros(self.shape, dtype=np.float64)
+        out = np.zeros(self.shape, dtype=self.dtype)
         for t in self.tiles:
             rows = t.row_indices()
             if rows.size and t.col_indices.size:

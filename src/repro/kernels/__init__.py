@@ -6,7 +6,8 @@ and cost separate lets tests pin numerical equivalence (e.g. TW masked GEMM
 ≡ dense GEMM on the masked weights) independently of performance modelling.
 
 - :mod:`repro.kernels.dense` — reference and explicitly-tiled dense GEMM.
-- :mod:`repro.kernels.masked` — the paper's TW masked GEMM (Listing 1).
+- :mod:`repro.kernels.masked` — the paper's TW masked GEMM (Listing 1),
+  executed batched per width group.
 - :mod:`repro.kernels.batched` — batched GEMM over equal-width tile groups.
 - :mod:`repro.kernels.spmm` — CSR/CSC sparse×dense products (cuSparse path).
 - :mod:`repro.kernels.block_sparse` — BSR GEMM (BlockSparse path).
@@ -14,27 +15,45 @@ and cost separate lets tests pin numerical equivalence (e.g. TW masked GEMM
 - :mod:`repro.kernels.transpose` — blocked layout transforms.
 - :mod:`repro.kernels.fusion` — fused non-GEMM epilogues.
 
+Execution pipeline (paper Fig. 7)
+---------------------------------
+The TW hot path follows **plan → batch → stream → execute**: a
+:func:`repro.runtime.batching.batching_plan` width-groups the tiles, a
+:class:`repro.runtime.scheduler.StreamAssignment` orders the groups across
+streams, and :func:`repro.kernels.masked.tw_gemm` executes each group as
+one zero-padded batched ``matmul`` (depth padded to the group's
+``max_depth``).  The cost model in :mod:`repro.gpu.tw_kernel` prices the
+*same* plan the executor runs.
+
 Vectorisation contract
 ----------------------
 Every hot-path kernel runs as batched array operations (segment reductions,
 panel copies, BLAS sweeps); the scalar loop implementations are *kept* as
 named ``*_reference`` oracles (``spmm_rowwise_reference``,
-``spmm_colwise_reference``, ``blocked_transpose_reference``, and
+``spmm_colwise_reference``, ``blocked_transpose_reference``,
+``tw_gemm_reference``, ``col2im_reference``, and
 ``tw_prune_step_reference`` in :mod:`repro.core.tile_sparsity`).  Fast paths
 must match their oracle **exactly** — bit-identical outputs, not approximate
-— because they add the same products in the same order (segment reductions)
-or on exactly-representable inputs (selection thresholds over integer unit
-weights).  ``tests/test_vectorized_paths.py`` enforces the contract, and
+— because they add the same products in the same order (segment reductions,
+``col2im``'s kernel-offset-major scatter) or on exactly-representable inputs
+(selection thresholds over integer unit weights, zero-padded batched
+reductions).  ``tests/test_vectorized_paths.py`` enforces the contract, and
 ``benchmarks/bench_hotpaths.py`` tracks the speedups in
 ``BENCH_hotpaths.json``; run it after touching any of these paths.
 """
 
 from repro.kernels.dense import gemm, tiled_gemm
-from repro.kernels.masked import masked_gemm, tw_gemm
+from repro.kernels.masked import masked_gemm, tw_gemm, tw_gemm_reference
 from repro.kernels.batched import batched_gemm, tw_batched_gemm
 from repro.kernels.spmm import csr_spmm, csc_left_spmm
 from repro.kernels.block_sparse import bsr_left_gemm
-from repro.kernels.im2col import col2im, conv2d_gemm, conv_output_shape, im2col
+from repro.kernels.im2col import (
+    col2im,
+    col2im_reference,
+    conv2d_gemm,
+    conv_output_shape,
+    im2col,
+)
 from repro.kernels.transpose import blocked_transpose
 from repro.kernels.fusion import (
     add_bias,
@@ -50,6 +69,7 @@ __all__ = [
     "tiled_gemm",
     "masked_gemm",
     "tw_gemm",
+    "tw_gemm_reference",
     "batched_gemm",
     "tw_batched_gemm",
     "csr_spmm",
@@ -57,6 +77,7 @@ __all__ = [
     "bsr_left_gemm",
     "im2col",
     "col2im",
+    "col2im_reference",
     "conv2d_gemm",
     "conv_output_shape",
     "blocked_transpose",

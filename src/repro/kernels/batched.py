@@ -3,16 +3,15 @@
 TW tiles have unequal work (different ``K_i``/``N_i``), which under-utilises
 a GPU if every tile launches its own kernel.  The paper batches tiles of
 equal width into one kernel so they share the activation matrix ``A`` and
-fill the machine.  Functionally a batch is just the sum of its members'
-contributions; the value of this module is (a) an executable demonstration
-of the padding trade-off batching implies, and (b) the grouping logic the
-cost model prices.
+fill the machine.
 
-``tw_batched_gemm`` pads each group's tiles to the group's maximum ``K_i``
-with zero rows (padding contributes nothing — the ``einsum`` over the padded
-batch is exact) and runs one batched contraction per width group, exactly
-mirroring how the real implementation re-uses one tensor-core kernel per
-group instead of specialising per tile size.
+The grouping logic lives in :func:`repro.runtime.batching.batching_plan` —
+the *same* plan the cost model prices — and the padded batched execution in
+:func:`repro.kernels.masked.tw_gemm`; :func:`tw_batched_gemm` is the
+explicit entry point that makes the plan it runs visible to the caller.
+``batched_gemm`` remains the plain 3-D contraction primitive each group
+reduces to (one tensor-core kernel per width group in the real
+implementation).
 """
 
 from __future__ import annotations
@@ -20,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.formats.tiled import TiledTWMatrix
+from repro.kernels.masked import tw_gemm
 
 __all__ = ["batched_gemm", "tw_batched_gemm"]
 
@@ -36,40 +36,18 @@ def batched_gemm(a_batch: np.ndarray, b_batch: np.ndarray) -> np.ndarray:
         raise ValueError(
             f"inner dims disagree: {a_batch.shape} @ {b_batch.shape}"
         )
-    return np.einsum("bmk,bkn->bmn", a_batch, b_batch)
+    return np.matmul(a_batch, b_batch)
 
 
-def tw_batched_gemm(a: np.ndarray, weight: TiledTWMatrix) -> np.ndarray:
+def tw_batched_gemm(a: np.ndarray, weight: TiledTWMatrix, plan=None) -> np.ndarray:
     """Compute ``A @ W`` with one batched GEMM per equal-width tile group.
 
-    Numerically identical to :func:`repro.kernels.masked.tw_gemm`; the
-    difference is execution structure: ``len(width_groups)`` kernel
-    launches instead of ``n_tiles``.
+    Numerically identical to :func:`repro.kernels.masked.tw_gemm_reference`
+    (bit-identical on exactly-representable data); the difference is
+    execution structure: ``len(plan)`` kernel launches instead of
+    ``n_tiles``.  ``plan`` defaults to
+    :func:`repro.runtime.batching.batching_plan` over ``weight`` — pass an
+    explicit plan (or :class:`~repro.runtime.scheduler.ExecutionPlan`) to
+    pin the kernel issue order.
     """
-    a = np.asarray(a, dtype=np.float64)
-    if a.ndim != 2:
-        raise ValueError("a must be 2-D")
-    k, n = weight.shape
-    if a.shape[1] != k:
-        raise ValueError(f"A columns {a.shape[1]} != weight K {k}")
-    m = a.shape[0]
-    out = np.zeros((m, n), dtype=np.float64)
-    groups = weight.width_groups()
-    for width, tile_ids in groups.items():
-        if width == 0:
-            continue
-        members = [weight.tiles[i] for i in tile_ids]
-        k_max = max(t.kept_k for t in members)
-        if k_max == 0:
-            continue
-        # build padded batches: A gathered per tile's kept rows, B zero-padded
-        a_batch = np.zeros((len(members), m, k_max), dtype=np.float64)
-        b_batch = np.zeros((len(members), k_max, width), dtype=np.float64)
-        for bi, t in enumerate(members):
-            rows = t.row_indices()
-            a_batch[bi, :, : rows.size] = a[:, rows]
-            b_batch[bi, : rows.size, :] = t.data
-        c_batch = batched_gemm(a_batch, b_batch)
-        for bi, t in enumerate(members):
-            out[:, t.col_indices] += c_batch[bi]
-    return out
+    return tw_gemm(a, weight, plan=plan)

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["conv_output_shape", "im2col", "col2im", "conv2d_gemm", "lower_filters"]
+__all__ = [
+    "conv_output_shape",
+    "im2col",
+    "col2im",
+    "col2im_reference",
+    "conv2d_gemm",
+    "lower_filters",
+]
 
 
 def conv_output_shape(
@@ -62,7 +69,7 @@ def im2col(
     return np.ascontiguousarray(patches)
 
 
-def col2im(
+def col2im_reference(
     cols: np.ndarray,
     x_shape: tuple[int, int, int, int],
     kh: int,
@@ -70,9 +77,11 @@ def col2im(
     stride: int = 1,
     padding: int = 0,
 ) -> np.ndarray:
-    """Adjoint of :func:`im2col`: scatter-add patch rows back to ``NCHW``.
+    """Scalar oracle for :func:`col2im`: the ``kh × kw`` Python double loop.
 
-    Needed for convolution backward (gradient w.r.t. the input).
+    Kept verbatim under the vectorisation contract — never optimise it.
+    Each output cell accumulates its overlapping patch contributions in
+    ``(i, j)`` kernel-offset order, which the fast path reproduces exactly.
     """
     n, c, h, w = x_shape
     oh, ow = conv_output_shape(h, w, kh, kw, stride, padding)
@@ -89,6 +98,51 @@ def col2im(
             out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
                 patches[:, :, :, :, i, j]
             )
+    if padding:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return out
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patch rows back to ``NCHW``.
+
+    Needed for convolution backward (gradient w.r.t. the input).
+
+    Vectorised as one ``np.add.at`` scatter over precomputed flat indices —
+    no Python loop over kernel offsets.  Elements are ordered kernel-offset-
+    major, so every output cell accumulates its contributions in the same
+    ``(i, j)`` order as :func:`col2im_reference`, making the two paths
+    bit-identical (same dtype, same per-cell addition sequence).
+    """
+    n, c, h, w = x_shape
+    oh, ow = conv_output_shape(h, w, kh, kw, stride, padding)
+    cols = np.asarray(cols)
+    if cols.shape != (n * oh * ow, c * kh * kw):
+        raise ValueError(
+            f"cols shape {cols.shape} != ({n * oh * ow}, {c * kh * kw})"
+        )
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    # values ordered (kh, kw, n, c, oh, ow) — kernel-offset-major, matching
+    # the reference loop's per-cell accumulation order
+    vals = cols.reshape(n, oh, ow, c, kh, kw).transpose(4, 5, 0, 3, 1, 2)
+    h_idx = np.arange(kh)[:, None] + stride * np.arange(oh)  # (kh, oh)
+    w_idx = np.arange(kw)[:, None] + stride * np.arange(ow)  # (kw, ow)
+    base = (np.arange(n)[:, None] * c + np.arange(c)) * (hp * wp)  # (n, c)
+    flat = (
+        base[None, None, :, :, None, None]
+        + (h_idx * wp)[:, None, None, None, :, None]
+        + w_idx[None, :, None, None, None, :]
+    )
+    flat = np.broadcast_to(flat, vals.shape)
+    np.add.at(out.reshape(-1), flat.reshape(-1), vals.reshape(-1))
     if padding:
         out = out[:, :, padding:-padding, padding:-padding]
     return out

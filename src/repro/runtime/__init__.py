@@ -4,16 +4,50 @@ Combines per-layer GEMM pricing with the non-GEMM kernels, transpose
 placement and fusion decisions of paper §VI, producing the Fig. 15
 end-to-end breakdowns and the Fig. 14 accuracy-latency trade-off points.
 
+Execution pipeline (paper Fig. 7, steps 3–4)
+--------------------------------------------
+One plan representation flows through the whole stack —
+**plan → batch → stream → execute**:
+
+1. :func:`~repro.runtime.batching.batching_plan` groups a layer's
+   equal-width tiles into :class:`~repro.runtime.batching.BatchGroup`
+   batched kernels;
+2. :func:`~repro.runtime.scheduler.assign_streams` spreads the groups over
+   concurrent streams (:class:`~repro.runtime.scheduler.StreamAssignment`,
+   whose ``execution_order`` is the observable issue order);
+3. :func:`~repro.runtime.scheduler.build_execution_plan` bundles both into
+   a cacheable :class:`~repro.runtime.scheduler.ExecutionPlan`;
+4. the *same* plan is priced by the cost model
+   (:func:`repro.gpu.tw_kernel.tw_gemm_cost`) and executed functionally by
+   :func:`repro.kernels.masked.tw_gemm`.
+
+Modules
+-------
 - :mod:`repro.runtime.engine` — the :class:`InferenceEngine` orchestrator;
 - :mod:`repro.runtime.layout` — transpose-kernel placement and cost;
 - :mod:`repro.runtime.batching` — cross-tile batching plans;
-- :mod:`repro.runtime.scheduler` — stream-assignment heuristics.
+- :mod:`repro.runtime.scheduler` — stream assignment + execution plans;
+- :mod:`repro.runtime.server` — :class:`TWModelServer`, the serving layer
+  that caches formats/plans per weight fingerprint and micro-batches
+  concurrent requests into one GEMM per layer.
 """
 
 from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
 from repro.runtime.layout import TransposePlan, transpose_cost
 from repro.runtime.batching import BatchGroup, batching_plan
-from repro.runtime.scheduler import StreamAssignment, assign_streams
+from repro.runtime.scheduler import (
+    ExecutionPlan,
+    StreamAssignment,
+    assign_streams,
+    build_execution_plan,
+)
+from repro.runtime.server import (
+    ServedRequest,
+    ServerConfig,
+    ServerStats,
+    TWModelServer,
+    weight_fingerprint,
+)
 
 __all__ = [
     "InferenceEngine",
@@ -26,4 +60,11 @@ __all__ = [
     "batching_plan",
     "StreamAssignment",
     "assign_streams",
+    "ExecutionPlan",
+    "build_execution_plan",
+    "TWModelServer",
+    "ServerConfig",
+    "ServerStats",
+    "ServedRequest",
+    "weight_fingerprint",
 ]

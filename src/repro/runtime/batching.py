@@ -2,13 +2,18 @@
 
 Equal-width TW tiles batch into one kernel; this module builds the explicit
 plan (which tiles go to which kernel, padded depth, launch savings) that
-:mod:`repro.runtime.scheduler` assigns to streams and the engine prices.
+:mod:`repro.runtime.scheduler` assigns to streams, the engine prices, *and*
+the functional executor (:func:`repro.kernels.masked.tw_gemm`) runs.  There
+is exactly one plan representation — a list of :class:`BatchGroup` — shared
+by the cost model and the executor, so what gets priced is what executes
+(plan → batch → stream → execute).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.formats.tiled import TiledTWMatrix
 from repro.gpu.tw_kernel import TWShapeStats
 
 __all__ = ["BatchGroup", "batching_plan"]
@@ -45,12 +50,19 @@ class BatchGroup:
         return self.max_depth * self.width * self.n_tiles
 
 
-def batching_plan(shape: TWShapeStats, enabled: bool = True) -> list[BatchGroup]:
+def batching_plan(
+    shape: TWShapeStats | TiledTWMatrix, enabled: bool = True
+) -> list[BatchGroup]:
     """Group a layer's tiles into batched kernels.
 
+    Accepts either the cost model's :class:`TWShapeStats` geometry or a
+    compacted :class:`~repro.formats.tiled.TiledTWMatrix` directly (the
+    executor's view) — ``tile_ids`` index the same tile list either way.
     With batching disabled every tile is its own group (one kernel per
     tile — the "Normal GEMM" row of Fig. 7 step 3).
     """
+    if isinstance(shape, TiledTWMatrix):
+        shape = TWShapeStats.from_matrix(shape)
     if not enabled:
         return [
             BatchGroup(width=nt, tile_ids=(i,), max_depth=kt)

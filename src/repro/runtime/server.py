@@ -1,0 +1,329 @@
+"""High-throughput TW model serving (ROADMAP north star: many requests).
+
+The paper's pipeline makes weight-side work — compaction into
+:class:`~repro.formats.tiled.TiledTWMatrix`, width-grouped batching, stream
+assignment — a *per-model* cost, while every request only pays the batched
+GEMMs.  :class:`TWModelServer` operationalises that split:
+
+- **Format & plan caches** keyed by
+  ``(weight fingerprint, pattern, granularity, dtype)`` and
+  ``(format key, batching, streams, device)``: the first request compacts
+  and plans, every later request replays the cached
+  :class:`~repro.runtime.scheduler.ExecutionPlan` — amortising construction
+  across millions of calls (cache-hit counters make this observable).
+- **Micro-batching**: concurrent requests' activations stack into one
+  matrix, so each layer runs *one* batched GEMM for the whole wave instead
+  of one per request (``submit`` + ``flush``; ``serve`` is the
+  single-request convenience).
+- **Stats**: per-request latency, per-flush batch sizes, rows/s and
+  requests/s throughput, and stream-imbalance diagnostics from the plans.
+
+Execution order inside a layer follows the cached plan's stream issue
+order, so what the cost model prices (plan → batch → stream) is exactly
+what executes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.tiled import TiledTWMatrix
+from repro.gpu.device import DeviceSpec, V100
+from repro.kernels.masked import tw_gemm
+from repro.runtime.scheduler import ExecutionPlan, build_execution_plan
+
+__all__ = [
+    "ServerConfig",
+    "ServedRequest",
+    "ServerStats",
+    "TWModelServer",
+    "weight_fingerprint",
+]
+
+
+def weight_fingerprint(
+    dense: np.ndarray,
+    col_keep: np.ndarray,
+    row_masks: list[np.ndarray],
+) -> str:
+    """Content hash of a layer's weights + pruning masks (cache identity).
+
+    Computed once at registration; two models sharing weights and masks
+    share format-cache entries regardless of object identity.
+    """
+    h = hashlib.sha1()
+    arr = np.ascontiguousarray(dense)
+    h.update(repr((arr.shape, arr.dtype.str)).encode())
+    h.update(arr.tobytes())
+    h.update(np.ascontiguousarray(col_keep, dtype=bool).tobytes())
+    for mask in row_masks:
+        h.update(np.ascontiguousarray(mask, dtype=bool).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Engine configuration for one server instance.
+
+    Every field is part of a cache key: changing the granularity, payload
+    dtype, batching/stream switches or device re-plans on first use.
+    """
+
+    granularity: int = 128
+    batching: bool = True
+    streams: bool = True
+    dtype: str = "float64"
+    max_batch_rows: int = 8192
+    device: DeviceSpec = V100
+
+    def __post_init__(self) -> None:
+        if self.granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {self.granularity}")
+        if self.max_batch_rows <= 0:
+            raise ValueError(f"max_batch_rows must be positive, got {self.max_batch_rows}")
+        np.dtype(self.dtype)  # raises on unknown dtype names
+
+
+@dataclass
+class ServedRequest:
+    """One completed request: its output plus observed latency."""
+
+    request_id: int
+    output: np.ndarray
+    rows: int
+    latency_s: float
+    batch_id: int
+
+
+#: per-request latencies retained for percentile-style inspection; older
+#: entries age out so a long-lived server's stats stay O(1) memory
+LATENCY_WINDOW = 4096
+
+
+@dataclass
+class ServerStats:
+    """Running counters; throughput is derived from GEMM busy time
+    (format compaction and plan building are excluded — they are the
+    amortised cold path the hit counters track)."""
+
+    requests: int = 0
+    rows: int = 0
+    batches: int = 0
+    gemms: int = 0
+    format_hits: int = 0
+    format_misses: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    busy_s: float = 0.0
+    latency_total_s: float = 0.0
+    latencies_s: deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+
+    def rows_per_s(self) -> float:
+        """Activation rows served per second of GEMM busy time."""
+        return self.rows / self.busy_s if self.busy_s > 0 else 0.0
+
+    def requests_per_s(self) -> float:
+        """Requests completed per second of GEMM busy time."""
+        return self.requests / self.busy_s if self.busy_s > 0 else 0.0
+
+    def mean_latency_s(self) -> float:
+        """Mean per-request latency (queueing + execution) over all requests."""
+        return self.latency_total_s / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
+class _Layer:
+    """One registered weight layer (dense + masks + cache identity)."""
+
+    dense: np.ndarray
+    col_keep: np.ndarray
+    row_masks: tuple[np.ndarray, ...]
+    fingerprint: str
+
+
+class TWModelServer:
+    """Serve a stack of TW-pruned GEMM layers with cached plans.
+
+    Layers are registered as ``(dense weight, col_keep, row_masks)`` — the
+    pruner's outputs — and compacted lazily on first use.  A request's
+    activations flow through every layer in order (``K`` of layer ``l+1``
+    must equal ``N`` of layer ``l``); pruned output columns are exact
+    zeros, so chaining is closed under TW execution.
+    """
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.stats = ServerStats()
+        self._layers: list[_Layer] = []
+        self._formats: dict[tuple, TiledTWMatrix] = {}
+        self._plans: dict[tuple, ExecutionPlan] = {}
+        self._pending: deque[tuple[int, np.ndarray, float]] = deque()
+        self._next_id = 0
+        self._batch_id = 0
+
+    # ------------------------------------------------------------------ #
+    # model registration
+    # ------------------------------------------------------------------ #
+    def add_layer(
+        self,
+        dense: np.ndarray,
+        col_keep: np.ndarray,
+        row_masks: list[np.ndarray],
+    ) -> str:
+        """Register one pruned GEMM layer; returns its weight fingerprint."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("layer weight must be 2-D")
+        if self._layers and self._layers[-1].dense.shape[1] != dense.shape[0]:
+            raise ValueError(
+                f"layer K={dense.shape[0]} does not chain onto previous "
+                f"layer N={self._layers[-1].dense.shape[1]}"
+            )
+        fp = weight_fingerprint(dense, col_keep, row_masks)
+        self._layers.append(
+            _Layer(dense, np.asarray(col_keep, dtype=bool),
+                   tuple(np.asarray(m, dtype=bool) for m in row_masks), fp)
+        )
+        return fp
+
+    @property
+    def n_layers(self) -> int:
+        """Registered layers."""
+        return len(self._layers)
+
+    def warm(self) -> None:
+        """Prebuild every layer's format and plan (optional cold-start hide)."""
+        for layer in self._layers:
+            tw = self._format_for(layer)
+            self._plan_for(layer, tw)
+
+    # ------------------------------------------------------------------ #
+    # caches
+    # ------------------------------------------------------------------ #
+    def _format_key(self, layer: _Layer) -> tuple:
+        return (layer.fingerprint, "tw", self.config.granularity, self.config.dtype)
+
+    def _format_for(self, layer: _Layer) -> TiledTWMatrix:
+        key = self._format_key(layer)
+        hit = self._formats.get(key)
+        if hit is not None:
+            self.stats.format_hits += 1
+            return hit
+        self.stats.format_misses += 1
+        tw = TiledTWMatrix.from_masks(
+            layer.dense,
+            self.config.granularity,
+            layer.col_keep,
+            list(layer.row_masks),
+            dtype=np.dtype(self.config.dtype),
+        )
+        self._formats[key] = tw
+        return tw
+
+    def _plan_for(self, layer: _Layer, tw: TiledTWMatrix) -> ExecutionPlan:
+        key = (
+            self._format_key(layer),
+            self.config.batching,
+            self.config.streams,
+            self.config.device,
+        )
+        hit = self._plans.get(key)
+        if hit is not None:
+            self.stats.plan_hits += 1
+            return hit
+        self.stats.plan_misses += 1
+        plan = build_execution_plan(
+            tw,
+            self.config.device,
+            batching=self.config.batching,
+            streams=self.config.streams,
+        )
+        self._plans[key] = plan
+        return plan
+
+    def stream_imbalance(self) -> list[float]:
+        """Per-cached-plan stream imbalance diagnostics (max/mean work)."""
+        return [p.assignment.imbalance() for p in self._plans.values()]
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def submit(self, x: np.ndarray) -> int:
+        """Queue one request's activations (``rows × K``); returns its id."""
+        x = np.atleast_2d(np.asarray(x))
+        if self._layers and x.shape[1] != self._layers[0].dense.shape[0]:
+            raise ValueError(
+                f"request K={x.shape[1]} != model K={self._layers[0].dense.shape[0]}"
+            )
+        rid = self._next_id
+        self._next_id += 1
+        self._pending.append((rid, x, time.perf_counter()))
+        return rid
+
+    def flush(self) -> list[ServedRequest]:
+        """Run every queued request as micro-batched GEMMs (one per layer).
+
+        Waves larger than ``max_batch_rows`` split into successive
+        micro-batches; requests never split across batches.
+        """
+        served: list[ServedRequest] = []
+        while self._pending:
+            wave: list[tuple[int, np.ndarray, float]] = []
+            rows = 0
+            while self._pending:
+                r = self._pending[0][1].shape[0]
+                if wave and rows + r > self.config.max_batch_rows:
+                    break
+                wave.append(self._pending.popleft())
+                rows += r
+            served.extend(self._run_batch(wave))
+        return served
+
+    def serve(self, x: np.ndarray) -> ServedRequest:
+        """Submit one request and flush immediately."""
+        self.submit(x)
+        return self.flush()[-1]
+
+    def _run_batch(self, wave: list[tuple[int, np.ndarray, float]]) -> list[ServedRequest]:
+        dtype = np.dtype(self.config.dtype)
+        batch = np.concatenate([x for _, x, _ in wave], axis=0)
+        # resolve caches first: busy_s times GEMM execution only, so the
+        # cold construction path never inflates throughput numbers
+        resolved = []
+        for layer in self._layers:
+            tw = self._format_for(layer)
+            resolved.append((tw, self._plan_for(layer, tw)))
+        t0 = time.perf_counter()
+        a = batch.astype(dtype, copy=False)
+        for tw, plan in resolved:
+            a = tw_gemm(a, tw, plan=plan)
+            self.stats.gemms += 1
+        done = time.perf_counter()
+        self.stats.busy_s += done - t0
+        self.stats.batches += 1
+        self._batch_id += 1
+        out: list[ServedRequest] = []
+        offset = 0
+        for rid, x, t_submit in wave:
+            r = x.shape[0]
+            latency = done - t_submit
+            self.stats.requests += 1
+            self.stats.rows += r
+            self.stats.latency_total_s += latency
+            self.stats.latencies_s.append(latency)
+            out.append(
+                ServedRequest(
+                    request_id=rid,
+                    output=a[offset : offset + r],
+                    rows=r,
+                    latency_s=latency,
+                    batch_id=self._batch_id - 1,
+                )
+            )
+            offset += r
+        return out

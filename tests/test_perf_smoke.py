@@ -24,9 +24,12 @@ REPO = Path(__file__).resolve().parent.parent
 #: the seed's scalar loops took ~1.1 s at the quick sweep's (0.25, 32) point
 PRUNE_CEILING_MS = 3000.0
 
+#: the warm batched TW GEMM at the quick config (m=128, G=8, s=0.5) runs in
+#: ~8 ms; the ceiling only trips if the per-tile Python loop sneaks back
+TW_GEMM_CEILING_MS = 200.0
 
-@pytest.mark.perf_smoke
-def test_quick_bench_prune_under_ceiling(tmp_path):
+
+def _run_quick_bench(tmp_path):
     out = tmp_path / "bench.json"
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
@@ -39,7 +42,12 @@ def test_quick_bench_prune_under_ceiling(tmp_path):
         timeout=600,
     )
     assert proc.returncode == 0, f"bench failed:\n{proc.stdout}\n{proc.stderr}"
-    record = json.loads(out.read_text())
+    return json.loads(out.read_text())
+
+
+@pytest.mark.perf_smoke
+def test_quick_bench_under_ceilings(tmp_path):
+    record = _run_quick_bench(tmp_path)
     prune = record["prune_step"]
     assert prune["scale"] == "12x(768x3072)"
     assert prune["configs"], "quick sweep produced no prune configs"
@@ -51,3 +59,17 @@ def test_quick_bench_prune_under_ceiling(tmp_path):
         )
         # the vectorised path must also actually beat the scalar reference
         assert row["vectorized_ms"] < row["reference_ms"]
+
+    # batched TW GEMM tripwire: the width-grouped executor must stay
+    # batched (under the ceiling) and ahead of the per-tile oracle
+    for row in record["tw_gemm"]["configs"]:
+        assert row["batched_ms"] < TW_GEMM_CEILING_MS, (
+            f"batched tw_gemm at m={row['m']} G={row['granularity']} took "
+            f"{row['batched_ms']}ms (ceiling {TW_GEMM_CEILING_MS}ms) — did "
+            "the per-tile loop sneak back into the batched path?"
+        )
+        assert row["batched_ms"] < row["reference_ms"]
+
+    # serving caches must amortise: warm requests skip format/plan builds
+    server = record["server"]
+    assert server["warm_request_ms"] < server["cold_request_ms"]

@@ -1,0 +1,144 @@
+"""Tests for the TW serving layer: caches, micro-batching, stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
+from repro.kernels.masked import tw_gemm_reference
+from repro.formats.tiled import TiledTWMatrix
+from repro.runtime import ServerConfig, TWModelServer, weight_fingerprint
+
+
+def _pruned_layer(rng, k, n, sparsity=0.5, g=8):
+    dense = rng.standard_normal((k, n))
+    step = tw_prune_step([np.abs(dense)], sparsity, TWPruneConfig(granularity=g))
+    return dense, step.col_keeps[0], step.row_masks[0]
+
+
+def _server(rng, n_layers=2, k=24, g=8, **cfg_kw):
+    server = TWModelServer(ServerConfig(granularity=g, **cfg_kw))
+    for _ in range(n_layers):
+        server.add_layer(*_pruned_layer(rng, k, k, g=g))
+    return server
+
+
+class TestCaches:
+    def test_second_request_skips_construction(self):
+        rng = np.random.default_rng(0)
+        server = _server(rng, n_layers=3)
+        server.serve(rng.standard_normal((4, 24)))
+        assert server.stats.format_misses == 3
+        assert server.stats.plan_misses == 3
+        assert server.stats.format_hits == 0
+        server.serve(rng.standard_normal((4, 24)))
+        # the whole point of the serving layer: construction amortised away
+        assert server.stats.format_misses == 3
+        assert server.stats.plan_misses == 3
+        assert server.stats.format_hits == 3
+        assert server.stats.plan_hits == 3
+
+    def test_warm_prebuilds(self):
+        rng = np.random.default_rng(1)
+        server = _server(rng)
+        server.warm()
+        assert server.stats.format_misses == 2
+        server.serve(rng.standard_normal((2, 24)))
+        assert server.stats.format_misses == 2
+        assert server.stats.format_hits >= 2
+
+    def test_fingerprint_distinguishes_masks(self):
+        rng = np.random.default_rng(2)
+        dense, ck, rm = _pruned_layer(rng, 16, 16)
+        fp1 = weight_fingerprint(dense, ck, rm)
+        assert fp1 == weight_fingerprint(dense.copy(), ck.copy(), [m.copy() for m in rm])
+        flipped = ck.copy()
+        flipped[0] = not flipped[0]
+        assert fp1 != weight_fingerprint(dense, flipped, rm)
+        assert fp1 != weight_fingerprint(dense + 1.0, ck, rm)
+
+
+class TestServing:
+    def test_matches_reference_per_layer_chain(self):
+        rng = np.random.default_rng(3)
+        server = _server(rng, n_layers=2, k=24)
+        x = rng.standard_normal((5, 24))
+        got = server.serve(x).output
+        a = x
+        for layer in server._layers:
+            tw = TiledTWMatrix.from_masks(
+                layer.dense, 8, layer.col_keep, list(layer.row_masks)
+            )
+            a = tw_gemm_reference(a, tw)
+        np.testing.assert_allclose(got, a, rtol=0, atol=1e-10)
+
+    def test_microbatch_outputs_match_individual_serves(self):
+        rng = np.random.default_rng(4)
+        server = _server(rng, n_layers=2)
+        reqs = [rng.standard_normal((int(rng.integers(1, 6)), 24)) for _ in range(5)]
+        solo = _server(np.random.default_rng(4), n_layers=2)
+        expected = [solo.serve(r).output for r in reqs]
+        ids = [server.submit(r) for r in reqs]
+        served = server.flush()
+        assert [s.request_id for s in served] == ids
+        assert server.stats.batches == 1
+        assert server.stats.gemms == 2  # one GEMM per layer for the wave
+        for s, want in zip(served, expected):
+            # same values up to BLAS blocking (the GEMM's row-blocking
+            # differs between the stacked wave and a lone request)
+            np.testing.assert_allclose(s.output, want, rtol=0, atol=1e-10)
+
+    def test_max_batch_rows_splits_waves(self):
+        rng = np.random.default_rng(5)
+        server = _server(rng, n_layers=1, max_batch_rows=8)
+        for _ in range(5):
+            server.submit(rng.standard_normal((4, 24)))
+        served = server.flush()
+        assert len(served) == 5
+        assert server.stats.batches == 3  # 8-row cap -> 2+2+1 requests
+        assert {s.batch_id for s in served} == {0, 1, 2}
+
+    def test_oversized_single_request_still_served(self):
+        rng = np.random.default_rng(6)
+        server = _server(rng, n_layers=1, max_batch_rows=4)
+        req = server.serve(rng.standard_normal((9, 24)))
+        assert req.rows == 9
+
+    def test_float32_serving_dtype(self):
+        rng = np.random.default_rng(7)
+        server = _server(rng, dtype="float32")
+        out = server.serve(rng.standard_normal((3, 24))).output
+        assert out.dtype == np.float32
+
+    def test_stats_and_latency(self):
+        rng = np.random.default_rng(8)
+        server = _server(rng)
+        server.submit(rng.standard_normal((2, 24)))
+        server.submit(rng.standard_normal((3, 24)))
+        server.flush()
+        st = server.stats
+        assert st.requests == 2
+        assert st.rows == 5
+        assert st.busy_s > 0
+        assert st.rows_per_s() > 0
+        assert st.requests_per_s() > 0
+        assert st.mean_latency_s() > 0
+        assert len(st.latencies_s) == 2
+        assert server.stream_imbalance()  # one diagnostic per cached plan
+
+    def test_validation(self):
+        rng = np.random.default_rng(9)
+        server = _server(rng, n_layers=1, k=24)
+        with pytest.raises(ValueError):
+            server.submit(rng.standard_normal((2, 7)))  # wrong K
+        with pytest.raises(ValueError):
+            server.add_layer(*_pruned_layer(rng, 7, 7))  # does not chain
+        with pytest.raises(ValueError):
+            ServerConfig(granularity=0)
+        with pytest.raises(ValueError):
+            ServerConfig(max_batch_rows=0)
+        with pytest.raises(TypeError):
+            ServerConfig(dtype="not-a-dtype")
+
+    def test_flush_empty_queue(self):
+        server = TWModelServer()
+        assert server.flush() == []

@@ -42,7 +42,11 @@ from repro.kernels.spmm import (
     spmm_colwise_reference,
     spmm_rowwise_reference,
 )
+from repro.kernels.im2col import col2im, col2im_reference, im2col
+from repro.kernels.masked import tw_gemm, tw_gemm_reference
 from repro.kernels.transpose import blocked_transpose, blocked_transpose_reference
+from repro.runtime.batching import batching_plan
+from repro.runtime.scheduler import build_execution_plan
 
 
 def assert_step_equal(a, b):
@@ -367,6 +371,150 @@ class TestCSRTranspose:
         t = csr.transpose()
         assert t.nnz == 1
         assert t == CSRMatrix.from_dense(csr.to_dense().T)
+
+
+def _random_tw(rng, k, n, g) -> TiledTWMatrix:
+    """A TW matrix with integer payloads and uneven per-tile depths."""
+    col_keep = rng.random(n) < rng.uniform(0.2, 0.9)
+    groups = TiledTWMatrix.column_groups(col_keep, g)
+    row_masks = [rng.random(k) < rng.uniform(0.0, 0.9) for _ in groups]
+    dense = rng.integers(-8, 9, (k, n)).astype(float)
+    return TiledTWMatrix.from_masks(dense, g, col_keep, row_masks)
+
+
+class TestTWGemmBatched:
+    # the batched executor zero-pads each group's payloads to the shared
+    # depth bound, so on exactly-representable data every padded term adds
+    # an exact zero: bit-identity with the per-tile oracle is required
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical_on_integer_data(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 12))
+        k, n = int(rng.integers(1, 40)), int(rng.integers(1, 60))
+        tw = _random_tw(rng, k, n, int(rng.integers(1, 10)))
+        a = rng.integers(-8, 9, (m, k)).astype(float)
+        np.testing.assert_array_equal(tw_gemm(a, tw), tw_gemm_reference(a, tw))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_continuous_within_rounding(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k, n = int(rng.integers(1, 10)), int(rng.integers(1, 30)), int(rng.integers(1, 50))
+        col_keep = rng.random(n) < 0.6
+        groups = TiledTWMatrix.column_groups(col_keep, 4)
+        row_masks = [rng.random(k) < 0.5 for _ in groups]
+        tw = TiledTWMatrix.from_masks(rng.standard_normal((k, n)), 4, col_keep, row_masks)
+        a = rng.standard_normal((m, k))
+        np.testing.assert_allclose(
+            tw_gemm(a, tw), tw_gemm_reference(a, tw), rtol=0, atol=1e-12
+        )
+
+    def test_empty_weight(self):
+        tw = TiledTWMatrix(shape=(6, 8), granularity=4, tiles=())
+        out = tw_gemm(np.ones((3, 6)), tw)
+        np.testing.assert_array_equal(out, np.zeros((3, 8)))
+
+    def test_full_depth_padding_group(self):
+        # one group mixing a full-depth tile with a nearly-empty one: the
+        # padded tail of the shallow tile must contribute exact zeros
+        rng = np.random.default_rng(0)
+        k, n, g = 10, 8, 4
+        col_keep = np.ones(n, dtype=bool)
+        masks = [np.ones(k, dtype=bool), np.zeros(k, dtype=bool)]
+        masks[1][3] = True  # depth 1 vs depth 10 in the same width group
+        dense = rng.integers(-5, 6, (k, n)).astype(float)
+        tw = TiledTWMatrix.from_masks(dense, g, col_keep, masks)
+        a = rng.integers(-5, 6, (4, k)).astype(float)
+        np.testing.assert_array_equal(tw_gemm(a, tw), tw_gemm_reference(a, tw))
+
+    def test_unbatched_plan_matches(self):
+        rng = np.random.default_rng(1)
+        tw = _random_tw(rng, 20, 30, 4)
+        a = rng.integers(-6, 7, (5, 20)).astype(float)
+        plan = batching_plan(tw, enabled=False)  # one group per tile
+        np.testing.assert_array_equal(tw_gemm(a, tw, plan=plan), tw_gemm_reference(a, tw))
+
+    def test_execution_plan_stream_order_matches(self):
+        rng = np.random.default_rng(2)
+        tw = _random_tw(rng, 24, 40, 4)
+        a = rng.integers(-6, 7, (3, 24)).astype(float)
+        plan = build_execution_plan(tw)
+        np.testing.assert_array_equal(tw_gemm(a, tw, plan=plan), tw_gemm_reference(a, tw))
+
+    def test_dtype_respected_not_promoted(self):
+        # satellite fix: float32 in, float32 out (the reference oracle
+        # promotes to float64 — that behaviour is pinned separately)
+        rng = np.random.default_rng(3)
+        col_keep = np.ones(8, dtype=bool)
+        masks = [np.ones(6, dtype=bool), np.ones(6, dtype=bool)]
+        dense = rng.integers(-4, 5, (6, 8)).astype(float)
+        tw32 = TiledTWMatrix.from_masks(dense, 4, col_keep, masks, dtype=np.float32)
+        a32 = rng.integers(-4, 5, (3, 6)).astype(np.float32)
+        out = tw_gemm(a32, tw32)
+        assert out.dtype == np.float32
+        assert tw_gemm_reference(a32, tw32).dtype == np.float64
+        # float64 activations against float32 payloads promote as numpy does
+        assert tw_gemm(a32.astype(np.float64), tw32).dtype == np.float64
+        np.testing.assert_array_equal(
+            out.astype(np.float64),
+            tw_gemm_reference(a32.astype(np.float64),
+                              TiledTWMatrix.from_masks(dense, 4, col_keep, masks)),
+        )
+
+    def test_repeat_calls_hit_operand_memo(self):
+        rng = np.random.default_rng(4)
+        tw = _random_tw(rng, 16, 24, 4)
+        a = rng.integers(-4, 5, (3, 16)).astype(float)
+        first = tw_gemm(a, tw)
+        assert "_group_operands" in tw.__dict__  # memo materialised
+        np.testing.assert_array_equal(tw_gemm(a, tw), first)
+
+
+class TestCol2ImEquivalence:
+    # the fast path scatters kernel-offset-major, so every output cell
+    # accumulates its overlapping contributions in the reference loop's
+    # (i, j) order: bit-identity holds even on continuous data
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(0, 2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical(self, seed, kh, kw, stride, padding):
+        rng = np.random.default_rng(seed)
+        n, c = int(rng.integers(1, 3)), int(rng.integers(1, 4))
+        h = int(rng.integers(kh, kh + 6))
+        w = int(rng.integers(kw, kw + 6))
+        oh = (h + 2 * padding - kh) // stride + 1
+        ow = (w + 2 * padding - kw) // stride + 1
+        cols = rng.standard_normal((n * oh * ow, c * kh * kw))
+        got = col2im(cols, (n, c, h, w), kh, kw, stride, padding)
+        want = col2im_reference(cols, (n, c, h, w), kh, kw, stride, padding)
+        np.testing.assert_array_equal(got, want)
+
+    def test_adjoint_of_im2col_round_trip(self):
+        # col2im(im2col(x)) counts each input position once per window
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols = im2col(x, 3, 3, stride=3)  # non-overlapping: exact identity
+        np.testing.assert_array_equal(col2im(cols, x.shape, 3, 3, stride=3), x)
+
+    def test_dtype_preserved(self):
+        cols = np.ones((4, 4), dtype=np.float32)
+        out = col2im(cols, (1, 1, 3, 3), 2, 2, stride=1, padding=0)
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(
+            out, col2im_reference(cols, (1, 1, 3, 3), 2, 2)
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            col2im(np.ones((3, 3)), (1, 1, 4, 4), 2, 2)
 
 
 class TestValidatorsStillRaise:
