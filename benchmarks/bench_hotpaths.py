@@ -26,6 +26,12 @@ future PR has a perf trajectory to regress against:
   path replays the plan's memoised group operands, as a serving loop does.
 - **server** — ``TWModelServer`` cold-vs-warm request latency (format/plan
   cache amortisation) and micro-batched vs sequential throughput.
+- **server_sharded** — the BERT-base encoder layer stack compiled through
+  ``repro.compile`` and served under each placement policy (``single``,
+  ``replicated`` x2, ``layer_sharded`` x2): rows/s, per-device GEMM busy
+  time, and the busy/critical-path ratio (the parallel headroom a sharded
+  deployment would realise by overlapping shards).  Outputs are asserted
+  identical across placements.
 
 Usage::
 
@@ -350,6 +356,89 @@ def bench_server(quick: bool) -> dict:
     }
 
 
+def _sharded_case(blocks: int, n_req: int, g: int, sparsity: float, dtype: str) -> dict:
+    import repro
+    from repro.api import demo_layer_stack
+    from repro.gpu.device import V100
+    from repro.runtime.placement import Placement
+    from repro.runtime.server import ServerConfig
+
+    req_rows = 16
+    weights, names = demo_layer_stack("bert", blocks=blocks, seed=6, dtype=np.float32)
+    placements = {
+        "single": Placement("single", (V100,)),
+        "replicated_x2": Placement("replicated", (V100, V100)),
+        "layer_sharded_x2": Placement("layer_sharded", (V100, V100)),
+    }
+    rng = np.random.default_rng(7)
+    reqs = [
+        rng.standard_normal((req_rows, weights[0].shape[0])).astype(dtype)
+        for _ in range(n_req)
+    ]
+    rows = {}
+    reference_out = None
+    for label, placement in placements.items():
+        model = repro.compile(
+            weights, pattern="tw", sparsity=sparsity, granularity=g,
+            dtype=np.dtype(dtype), names=names, placement=placement,
+        )
+        # cap waves at 4 requests so the queue splits into several waves —
+        # otherwise one giant wave pins a replicated placement to one slot
+        server = model.serve(ServerConfig(
+            granularity=g, dtype=dtype, placement=placement,
+            max_wave_rows=4 * req_rows,
+        ))
+        t0 = time.perf_counter()
+        for r in reqs:
+            server.submit(r)
+        served = server.flush()
+        wall_s = time.perf_counter() - t0
+        out = served[0].output
+        if reference_out is None:
+            reference_out = out
+        else:
+            # placement must never change results, only where work runs
+            assert np.array_equal(out, reference_out), label
+        st = server.stats
+        critical = st.critical_path_s()
+        rows[label] = {
+            "serve_ms": round(wall_s * 1e3, 2),
+            "gemm_busy_ms": round(st.busy_s * 1e3, 2),
+            "critical_path_ms": round(critical * 1e3, 2),
+            "parallel_headroom": round(st.busy_s / critical, 2) if critical else 1.0,
+            "rows_per_s": round(st.rows_per_s()),
+            "device_gemms": dict(sorted(st.device_gemms.items())),
+        }
+        print(
+            f"shard  x{blocks} {label:<17s} serve {wall_s * 1e3:8.2f}ms  busy "
+            f"{st.busy_s * 1e3:7.2f}ms  critical {critical * 1e3:7.2f}ms  "
+            f"headroom {rows[label]['parallel_headroom']:.2f}x"
+        )
+    return {
+        "model": f"bert encoder x{blocks} (768/3072)",
+        "requests": n_req,
+        "rows_per_request": req_rows,
+        "placements": rows,
+    }
+
+
+def bench_sharded_server(quick: bool) -> dict:
+    g, sparsity, dtype = 64, 0.75, "float32"
+    # the small case runs in BOTH sweeps so `check_bench --quick` (the
+    # bench_gate pytest marker) still gates it against the full baseline;
+    # rows are matched by the "model" identity field, never by position
+    cases = [(1, 8)] if quick else [(1, 8), (2, 32)]
+    return {
+        "granularity": g,
+        "sparsity": sparsity,
+        "dtype": dtype,
+        "configs": [
+            _sharded_case(blocks, n_req, g, sparsity, dtype)
+            for blocks, n_req in cases
+        ],
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="reduced sweep")
@@ -378,6 +467,7 @@ def main() -> None:
         "end_to_end": bench_end_to_end(args.quick),
         "tw_gemm": bench_tw_gemm(args.quick),
         "server": bench_server(args.quick),
+        "server_sharded": bench_sharded_server(args.quick),
     }
     args.out.write_text(json.dumps(record, indent=1) + "\n")
     print(f"wrote {args.out}")

@@ -1,0 +1,725 @@
+"""One front door for the paper's pipeline: :func:`compile`.
+
+The reproduction's contribution is a *pipeline* — tile-wise prune → compact
+TW format → batching/stream plan → batched GEMM execution — and this module
+is its single entry point.  Instead of hand-wiring ``tw_prune_step`` →
+``TiledTWMatrix.from_masks`` → ``build_execution_plan`` → ``tw_gemm`` at
+every call site, callers write::
+
+    import repro
+
+    model = repro.compile(weights, pattern="tw", sparsity=0.75,
+                          granularity=128, engine="tensor_core")
+    model.prune_report()      # what the pruner kept
+    model.price(m=8192)       # cost-model latency vs the dense baseline
+    y = model.run(x)          # batched TW forward (bit-identical to the
+                              # hand-wired pipeline)
+    model.save("model.npz")   # offline artifact (repro.load round-trips)
+    server = model.serve()    # warm TWModelServer, caches pre-seeded
+
+Patterns (``tw``, ``ew``, ``vw``, ``bw``, ``nm``) and engines
+(``tensor_core``, ``cuda_core``) are resolved through the string registries
+in :mod:`repro.patterns.registry`; multi-device placement (``single``,
+``replicated``, ``layer_sharded``) through
+:mod:`repro.runtime.placement` — every new pattern/engine/placement is a
+registry entry, not a new code path.
+
+Two compilation sources:
+
+- **weight matrices** (arrays, or an ``repro.nn`` module) — the full
+  pipeline runs: pruning, compaction, per-device plans, execution;
+- **a model name** (``"bert"``, ``"vgg"``, ``"nmt"``) — the paper's
+  full-size GEMM shape tables are compiled for *pricing only* (the cost
+  model needs no weights); ``run``/``serve``/``save`` explain what to pass
+  instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.importance import magnitude_score
+from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
+from repro.formats.tiled import TiledTWMatrix
+from repro.gpu.device import DeviceSpec
+from repro.gpu.tw_kernel import TWShapeStats
+from repro.kernels.masked import tw_gemm
+from repro.models.registry import GemmShape
+from repro.patterns.registry import PATTERNS, make_pattern, resolve_engine
+from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
+from repro.runtime.placement import Placement, resolve_placement
+from repro.runtime.scheduler import ExecutionPlan, build_execution_plan
+from repro.runtime.server import ServerConfig, TWModelServer, weight_fingerprint
+
+__all__ = [
+    "compile",
+    "load",
+    "CompiledTWModel",
+    "CompiledLayer",
+    "PriceReport",
+    "demo_layer_stack",
+]
+
+#: patterns the cost model can price directly (LayerPlan vocabulary);
+#: ``nm`` is priced as ``vw`` — both need hardware support and fall back
+#: to cuSparse-on-CUDA-cores in the simulator
+_PRICE_AS = {
+    "tw": "tw",
+    "tew": "tew",
+    "ew": "ew",
+    "vw": "vw",
+    "bw": "bw",
+    "nm": "vw",
+    "dense": "dense",
+}
+
+#: compile-time strings that are not mask registry entries but are still
+#: accepted: the dense baseline, and TEW which only the cost model knows
+#: (the mask-level overlay needs the multi-stage pipeline in
+#: repro.experiments.accuracy)
+_NON_REGISTRY_PATTERNS = ("dense", "tew")
+
+
+@dataclass(frozen=True)
+class CompiledLayer:
+    """One layer of a compiled model: formats, plans, cache identity.
+
+    For TW compilations every field is populated; for mask-only patterns
+    (``ew``/``vw``/``bw``/``nm``) only ``dense`` + ``mask`` are (execution
+    falls back to masked-dense GEMM); for shape-only compilations only
+    ``shape`` is.
+    """
+
+    name: str
+    shape: tuple[int, int]
+    dense: np.ndarray | None = None
+    mask: np.ndarray | None = None
+    col_keep: np.ndarray | None = None
+    row_masks: tuple[np.ndarray, ...] = ()
+    tw: TiledTWMatrix | None = None
+    plans: dict[DeviceSpec, ExecutionPlan] = field(default_factory=dict)
+    fingerprint: str = ""
+
+    @property
+    def sparsity(self) -> float:
+        """Element sparsity of this layer after pruning."""
+        if self.tw is not None:
+            return self.tw.sparsity
+        if self.mask is not None:
+            return 1.0 - float(np.asarray(self.mask).mean())
+        return 0.0
+
+    def masked_dense(self) -> np.ndarray:
+        """The mask-expanded weight, memoised (mask-only execution path).
+
+        Both operands are frozen, so the product is computed once and
+        parked in the instance ``__dict__`` — the same memo idiom the
+        kernels use for group operands.
+        """
+        hit = self.__dict__.get("_masked_dense")
+        if hit is None:
+            hit = self.dense * self.mask
+            object.__setattr__(self, "_masked_dense", hit)
+        return hit
+
+
+@dataclass(frozen=True)
+class PriceReport:
+    """Cost-model pricing of a compiled model vs its dense baseline.
+
+    ``gemm_speedup`` is the paper's main reported quantity;
+    ``end_to_end`` is populated for named-model compilations (where the
+    non-GEMM Amdahl fraction is known) and ``None`` for raw weight stacks.
+    """
+
+    label: str
+    pattern: str
+    engine: str
+    m: int
+    sparse_gemm_us: float
+    dense_gemm_us: float
+    end_to_end: EndToEndReport | None = None
+
+    @property
+    def gemm_speedup(self) -> float:
+        """Dense-baseline GEMM time over sparse GEMM time."""
+        return self.dense_gemm_us / self.sparse_gemm_us if self.sparse_gemm_us > 0 else 0.0
+
+
+class CompiledTWModel:
+    """A pruned, compacted, planned model — the pipeline's one artifact.
+
+    Owns per-layer compact formats and per-device
+    :class:`~repro.runtime.scheduler.ExecutionPlan`\\ s, so every consumer
+    (forward execution, cost-model pricing, serialization, serving) reads
+    the *same* compiled state instead of re-running parts of the pipeline.
+    """
+
+    def __init__(
+        self,
+        layers: list[CompiledLayer],
+        *,
+        pattern: str,
+        sparsity: float,
+        granularity: int,
+        engine: str,
+        placement: Placement,
+        achieved_sparsity: float | None = None,
+        model_name: str | None = None,
+        price_shapes: list[GemmShape] | None = None,
+    ) -> None:
+        self.layers = layers
+        self.pattern = pattern
+        self.sparsity = sparsity
+        self.granularity = granularity
+        self.engine = engine
+        self.placement = placement
+        self.model_name = model_name
+        self._price_shapes = price_shapes
+        if achieved_sparsity is None:
+            total = sum(l.shape[0] * l.shape[1] for l in layers) or 1
+            kept = sum((1.0 - l.sparsity) * l.shape[0] * l.shape[1] for l in layers)
+            achieved_sparsity = 1.0 - kept / total
+        self.achieved_sparsity = achieved_sparsity
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_layers(self) -> int:
+        """Compiled layers."""
+        return len(self.layers)
+
+    @property
+    def executable(self) -> bool:
+        """Whether :meth:`run` can execute (weights were compiled)."""
+        return bool(self.layers) and all(
+            l.tw is not None or (l.dense is not None and l.mask is not None)
+            for l in self.layers
+        )
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Payload dtype of the compiled formats."""
+        for l in self.layers:
+            if l.tw is not None:
+                return l.tw.dtype
+            if l.dense is not None:
+                return l.dense.dtype
+        return np.dtype(np.float64)
+
+    def _require_weights(self, what: str) -> None:
+        if not self.executable:
+            raise ValueError(
+                f"cannot {what}: this model was compiled from "
+                f"{self.model_name or 'shapes'!r} shapes only — "
+                "pass weight matrices (or an repro.nn module) to repro.compile() "
+                "to get an executable model"
+            )
+
+    def shard_layout(self) -> list[str]:
+        """Device slot (``name#index``) owning each layer under the placement."""
+        return self.placement.shard_labels(self.n_layers)
+
+    def prune_report(self) -> dict:
+        """What pruning kept: per-layer and overall sparsity, tile geometry."""
+        self._require_weights("report pruning")
+        rows = []
+        for l in self.layers:
+            row = {
+                "name": l.name,
+                "shape": list(l.shape),
+                "sparsity": round(l.sparsity, 6),
+            }
+            if l.tw is not None:
+                row.update(
+                    tiles=l.tw.n_tiles,
+                    kept_columns=l.tw.kept_columns,
+                    load_imbalance=round(l.tw.load_imbalance(), 4),
+                    memory_bytes=l.tw.memory_bytes(),
+                )
+            rows.append(row)
+        return {
+            "pattern": self.pattern,
+            "granularity": self.granularity,
+            "target_sparsity": self.sparsity,
+            "achieved_sparsity": round(self.achieved_sparsity, 6),
+            "placement": {
+                "kind": self.placement.kind,
+                "devices": [d.name for d in self.placement.devices],
+            },
+            "layers": rows,
+        }
+
+    # ------------------------------------------------------------------ #
+    # pricing (cost model)
+    # ------------------------------------------------------------------ #
+    def price(self, m: int = 8192, infer: InferenceEngine | None = None) -> PriceReport:
+        """Cost-model latency of this model vs its dense baseline.
+
+        Named-model compilations price the paper's full-size shape tables
+        (GEMM-only speedup + the Fig. 15 end-to-end breakdown); weight
+        compilations price each layer at ``m`` activation rows using the
+        *real* compiled tile geometry (``TWShapeStats.from_matrix``), not a
+        synthetic sparsity model.
+        """
+        if self.model_name is not None and self._price_shapes is None:
+            # named-model path: delegate to the latency experiment, which
+            # shares dense-baseline memos across sweeps
+            from repro.experiments.latency import end_to_end_report, gemm_speedup
+
+            price_pattern = _PRICE_AS[self.pattern]
+            speedup = gemm_speedup(
+                self.model_name, price_pattern, self.sparsity,
+                engine=self.engine, granularity=self.granularity, infer=infer,
+            )
+            rep = end_to_end_report(
+                self.model_name, price_pattern, self.sparsity,
+                EngineConfig(engine=self.engine),
+                granularity=self.granularity, infer=infer,
+            )
+            return PriceReport(
+                label=self.model_name,
+                pattern=self.pattern,
+                engine=self.engine,
+                m=0,
+                sparse_gemm_us=rep.gemm_us,
+                dense_gemm_us=rep.gemm_us * speedup,
+                end_to_end=rep,
+            )
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        from repro.experiments.latency import baseline_engine_config
+
+        price_pattern = _PRICE_AS[self.pattern]
+        infer = infer or InferenceEngine(device=self.placement.primary)
+        config = EngineConfig(engine=self.engine)
+        baseline_cfg = baseline_engine_config(price_pattern, config)
+        sparse_us = dense_us = 0.0
+        for l in self.layers:
+            shape = GemmShape(m, l.shape[0], l.shape[1], name=l.name)
+            plan = LayerPlan(
+                shape,
+                pattern=price_pattern,
+                sparsity=min(l.sparsity, 1.0),
+                granularity=self.granularity,
+                tw_stats=TWShapeStats.from_matrix(l.tw) if l.tw is not None else None,
+            )
+            if price_pattern == "dense":
+                sparse_us += infer.gemm_cost(LayerPlan(shape), config).total_us
+            else:
+                sparse_us += infer.gemm_cost(plan, config).total_us
+            dense_us += infer.gemm_cost(LayerPlan(shape), baseline_cfg).total_us
+        return PriceReport(
+            label=self.model_name or f"{self.n_layers}-layer stack",
+            pattern=self.pattern,
+            engine=self.engine,
+            m=m,
+            sparse_gemm_us=sparse_us,
+            dense_gemm_us=dense_us,
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Forward ``x`` through the compiled layer stack.
+
+        TW layers execute as width-grouped batched GEMMs replaying the
+        compiled per-device plans (bit-identical to the hand-wired
+        ``tw_prune → from_masks → build_execution_plan → tw_gemm``
+        pipeline); mask-only patterns execute dense GEMM against the
+        mask-expanded weights.
+        """
+        self._require_weights("run")
+        a = np.atleast_2d(np.asarray(x))
+        if self.layers and a.shape[1] != self.layers[0].shape[0]:
+            raise ValueError(
+                f"input K={a.shape[1]} != model K={self.layers[0].shape[0]}"
+            )
+        n = self.n_layers
+        for i, l in enumerate(self.layers):
+            if i and l.shape[0] != self.layers[i - 1].shape[1]:
+                raise ValueError(
+                    f"layer {i} K={l.shape[0]} does not chain onto layer "
+                    f"{i - 1} N={self.layers[i - 1].shape[1]}"
+                )
+            if l.tw is not None:
+                device = self.placement.device_for_layer(i, n)
+                a = tw_gemm(a, l.tw, plan=l.plans.get(device))
+            else:
+                a = a @ l.masked_dense()
+        return a
+
+    def serve(self, config: ServerConfig | None = None) -> TWModelServer:
+        """A :class:`TWModelServer` over this model, caches pre-seeded.
+
+        With no ``config``, the server inherits the compiled granularity,
+        payload dtype and placement.  The compiled formats and per-device
+        plans are adopted into the server's caches (``preload``), so the
+        first request is already warm whenever the config matches.
+        """
+        self._require_weights("serve")
+        if any(l.tw is None for l in self.layers):
+            raise ValueError(
+                f"serving requires the TW pattern; this model was compiled "
+                f"with pattern={self.pattern!r}"
+            )
+        if config is None:
+            config = ServerConfig(
+                granularity=self.granularity,
+                dtype=str(self.dtype),
+                placement=self.placement,
+            )
+        server = TWModelServer(config)
+        for i, l in enumerate(self.layers):
+            server.add_layer(l.dense, l.col_keep, list(l.row_masks))
+            server.preload(i, l.tw, l.plans)
+        return server
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Persist the compiled model to one ``.npz`` (``repro.load`` reads it).
+
+        Stores the compact tile payloads, pruning masks and compilation
+        metadata — the offline artifact of the paper's §VI pre-processing.
+        Plans are rebuilt deterministically at load, so they are not stored.
+        """
+        from repro.formats.io import save_compiled_arrays
+
+        self._require_weights("save")
+        if any(l.tw is None for l in self.layers):
+            raise ValueError(
+                f"only TW compilations serialize; this model used {self.pattern!r}"
+            )
+        meta = {
+            "pattern": self.pattern,
+            "sparsity": self.sparsity,
+            "achieved_sparsity": self.achieved_sparsity,
+            "granularity": self.granularity,
+            "engine": self.engine,
+            "placement_kind": self.placement.kind,
+            "devices": [_device_dict(d) for d in self.placement.devices],
+            "layer_names": [l.name for l in self.layers],
+        }
+        layers = [
+            {"tw": l.tw, "col_keep": l.col_keep, "row_masks": list(l.row_masks)}
+            for l in self.layers
+        ]
+        return save_compiled_arrays(path, meta, layers)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CompiledTWModel":
+        """Reconstruct a compiled model saved with :meth:`save`.
+
+        Tile payloads round-trip bit-exactly; execution plans are rebuilt
+        (deterministic), and the dense view is re-expanded from the tiles
+        (values at pruned positions are zero — they never participate in
+        execution).
+        """
+        from repro.formats.io import load_compiled_arrays
+
+        meta, raw_layers = load_compiled_arrays(path)
+        placement = Placement(
+            meta["placement_kind"],
+            tuple(DeviceSpec(**d) for d in meta["devices"]),
+        )
+        layers = []
+        n = len(raw_layers)
+        for i, raw in enumerate(raw_layers):
+            tw: TiledTWMatrix = raw["tw"]
+            dense = tw.to_dense()
+            layers.append(
+                CompiledLayer(
+                    name=meta["layer_names"][i],
+                    shape=tw.shape,
+                    dense=dense,
+                    col_keep=raw["col_keep"],
+                    row_masks=tuple(raw["row_masks"]),
+                    tw=tw,
+                    plans=_build_plans(tw, placement, i, n),
+                    fingerprint=weight_fingerprint(
+                        dense, raw["col_keep"], list(raw["row_masks"])
+                    ),
+                )
+            )
+        return cls(
+            layers,
+            pattern=meta["pattern"],
+            sparsity=meta["sparsity"],
+            granularity=meta["granularity"],
+            engine=meta["engine"],
+            placement=placement,
+            achieved_sparsity=meta["achieved_sparsity"],
+        )
+
+
+def _device_dict(d: DeviceSpec) -> dict:
+    import dataclasses
+
+    return dataclasses.asdict(d)
+
+
+def _build_plans(
+    tw: TiledTWMatrix, placement: Placement, layer: int, n_layers: int
+) -> dict[DeviceSpec, ExecutionPlan]:
+    """Execution plans for every device this layer may run on."""
+    devices = placement.plan_devices(n_layers)[layer] if n_layers else ()
+    return {d: build_execution_plan(tw, d) for d in devices}
+
+
+def _normalize_weights(
+    model_or_weights, names: Sequence[str] | None
+) -> tuple[list[np.ndarray], list[str]]:
+    """Weight matrices + layer names from any accepted model source."""
+    if hasattr(model_or_weights, "prunable_weights"):
+        weights = [np.asarray(t.data) for t in model_or_weights.prunable_weights()]
+    elif isinstance(model_or_weights, np.ndarray):
+        weights = [model_or_weights] if model_or_weights.ndim == 2 else list(model_or_weights)
+    else:
+        weights = [np.asarray(w) for w in model_or_weights]
+    if not weights:
+        raise ValueError("no weight matrices to compile")
+    for i, w in enumerate(weights):
+        if w.ndim != 2:
+            raise ValueError(f"weight {i} must be 2-D, got ndim={w.ndim}")
+    if names is None:
+        names = [f"layer{i}" for i in range(len(weights))]
+    elif len(names) != len(weights):
+        raise ValueError(f"{len(names)} names for {len(weights)} weights")
+    return weights, list(names)
+
+
+def compile(
+    model_or_weights,
+    *,
+    pattern: str = "tw",
+    sparsity: float = 0.75,
+    granularity: int = 128,
+    engine: str = "tensor_core",
+    placement: Placement | str | None = None,
+    devices: Sequence[DeviceSpec] | None = None,
+    dtype: np.dtype | type | None = np.float64,
+    scores: Sequence[np.ndarray] | None = None,
+    prune_config: TWPruneConfig | None = None,
+    pattern_kwargs: dict | None = None,
+    names: Sequence[str] | None = None,
+) -> CompiledTWModel:
+    """Run the paper's pipeline end to end; returns a :class:`CompiledTWModel`.
+
+    Parameters
+    ----------
+    model_or_weights:
+        A 2-D array, a sequence of 2-D arrays (a chained layer stack), an
+        ``repro.nn`` module exposing ``prunable_weights()``, or a model
+        name string (``"bert"``/``"vgg"``/``"nmt"`` — shape tables, priced
+        only).
+    pattern:
+        Registry name (``tw``, ``ew``, ``vw``, ``bw``, ``nm``; aliases
+        accepted) or ``"dense"`` for the unpruned baseline.
+    sparsity:
+        Overall weight-sparsity target.
+    granularity:
+        TW tile width ``G``.
+    engine:
+        Registry name (``tensor_core``/``tc``, ``cuda_core``/``cc``).
+    placement:
+        A :class:`~repro.runtime.placement.Placement`, a kind string
+        (combined with ``devices``), or ``None`` for single-device.
+    dtype:
+        Compact payload dtype (``None`` keeps the weights' own dtype).
+    scores:
+        Element importance scores per weight; defaults to magnitude.
+    prune_config:
+        Full :class:`TWPruneConfig` override (TW only; ``granularity`` is
+        ignored when given).
+    pattern_kwargs:
+        Extra registry-factory arguments (``vector_size``, ``block_shape``,
+        ``n``/``m``).
+    names:
+        Layer names for reports.
+    """
+    placement = resolve_placement(placement, devices)
+    engine = resolve_engine(engine)
+    if pattern not in _NON_REGISTRY_PATTERNS:
+        pattern = PATTERNS.canonical(pattern)
+
+    if isinstance(model_or_weights, str):
+        # price-only compilations admit the closed interval: the cost
+        # model can price sparsity 1.0, only *pruning* needs headroom
+        if not (0.0 <= sparsity <= 1.0):
+            raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+        return _compile_named(
+            model_or_weights, pattern, sparsity, granularity, engine, placement
+        )
+    if not (0.0 <= sparsity < 1.0):
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    if pattern == "tew":
+        raise ValueError(
+            "tew is price-only at compile time: the mask-level TEW overlay "
+            "needs the multi-stage pipeline "
+            "(repro.experiments.accuracy.prune_and_evaluate)"
+        )
+
+    weights, layer_names = _normalize_weights(model_or_weights, names)
+    score_mats = (
+        [np.asarray(s, dtype=np.float64) for s in scores]
+        if scores is not None
+        else [magnitude_score(w) for w in weights]
+    )
+    if len(score_mats) != len(weights):
+        raise ValueError(f"{len(score_mats)} score matrices for {len(weights)} weights")
+
+    n = len(weights)
+    layers: list[CompiledLayer] = []
+    if pattern == "tw":
+        cfg = prune_config or TWPruneConfig(granularity=granularity)
+        granularity = cfg.granularity
+        step = tw_prune_step(score_mats, sparsity, cfg)
+        for i, w in enumerate(weights):
+            tw = TiledTWMatrix.from_masks(
+                w, cfg.granularity, step.col_keeps[i], step.row_masks[i],
+                reorganize=cfg.reorganize, dtype=dtype,
+            )
+            layers.append(
+                CompiledLayer(
+                    name=layer_names[i],
+                    shape=tw.shape,
+                    dense=w,
+                    mask=step.masks[i],
+                    col_keep=step.col_keeps[i],
+                    row_masks=tuple(step.row_masks[i]),
+                    tw=tw,
+                    plans=_build_plans(tw, placement, i, n),
+                    fingerprint=weight_fingerprint(
+                        w, step.col_keeps[i], step.row_masks[i]
+                    ),
+                )
+            )
+        achieved = step.achieved_sparsity
+    elif pattern == "dense":
+        for i, w in enumerate(weights):
+            layers.append(
+                CompiledLayer(
+                    name=layer_names[i], shape=w.shape, dense=w,
+                    mask=np.ones(w.shape, dtype=bool),
+                )
+            )
+        achieved = 0.0
+    else:
+        pat = make_pattern(pattern, granularity=granularity, **(pattern_kwargs or {}))
+        result = pat.prune(score_mats, sparsity)
+        for i, w in enumerate(weights):
+            layers.append(
+                CompiledLayer(
+                    name=layer_names[i], shape=w.shape, dense=w,
+                    mask=np.asarray(result.masks[i], dtype=bool),
+                )
+            )
+        achieved = result.achieved_sparsity
+    return CompiledTWModel(
+        layers,
+        pattern=pattern,
+        sparsity=sparsity,
+        granularity=granularity,
+        engine=engine,
+        placement=placement,
+        achieved_sparsity=achieved,
+    )
+
+
+def _compile_named(
+    model: str,
+    pattern: str,
+    sparsity: float,
+    granularity: int,
+    engine: str,
+    placement: Placement,
+) -> CompiledTWModel:
+    """Shape-table compilation for the paper's full-size models."""
+    from repro.experiments.latency import MODEL_SHAPES
+
+    if model not in MODEL_SHAPES:
+        raise KeyError(
+            f"unknown model {model!r}; expected one of {sorted(MODEL_SHAPES)}"
+        )
+    if pattern not in _PRICE_AS:
+        raise KeyError(
+            f"pattern {pattern!r} has no cost model; priceable: {sorted(_PRICE_AS)}"
+        )
+    shapes = MODEL_SHAPES[model]()
+    layers = [
+        CompiledLayer(name=s.name or f"gemm{i}", shape=(s.k, s.n))
+        for i, s in enumerate(shapes)
+    ]
+    return CompiledTWModel(
+        layers,
+        pattern=pattern,
+        sparsity=sparsity,
+        granularity=granularity,
+        engine=engine,
+        placement=placement,
+        achieved_sparsity=sparsity,
+        model_name=model,
+    )
+
+
+def load(path: str | Path) -> CompiledTWModel:
+    """Load a compiled model saved by :meth:`CompiledTWModel.save`."""
+    return CompiledTWModel.load(path)
+
+
+def demo_layer_stack(
+    model: str = "bert",
+    *,
+    scale: int = 1,
+    blocks: int = 2,
+    seed: int = 0,
+    dtype: np.dtype | type = np.float64,
+) -> tuple[list[np.ndarray], list[str]]:
+    """A chained random weight stack at a named model's GEMM geometry.
+
+    Serving needs layers whose ``N`` feeds the next layer's ``K``; this
+    builds the natural chained sub-stack of each paper model — the
+    BERT-base encoder block sequence (4 attention projections + FFN
+    expand/contract per block), the VGG-16 FC head, or the NMT
+    attention/projection chain — scaled down by ``scale`` for quick demos.
+    Returns ``(weights, names)`` ready for :func:`compile`.
+    """
+    if scale <= 0 or blocks <= 0:
+        raise ValueError("scale and blocks must be positive")
+    rng = np.random.default_rng(seed)
+
+    def w(k: int, n: int) -> np.ndarray:
+        return rng.standard_normal((max(1, k), max(1, n))).astype(dtype)
+
+    weights: list[np.ndarray] = []
+    names: list[str] = []
+    if model == "bert":
+        hidden, ffn = 768 // scale, 3072 // scale
+        for b in range(blocks):
+            for p in ("q", "k", "v", "o"):
+                weights.append(w(hidden, hidden))
+                names.append(f"block{b}.attn-{p}")
+            weights.append(w(hidden, ffn))
+            names.append(f"block{b}.ffn-1")
+            weights.append(w(ffn, hidden))
+            names.append(f"block{b}.ffn-2")
+    elif model == "vgg":
+        dims = [512 * 7 * 7 // scale, 4096 // scale, 4096 // scale, 1000 // scale]
+        for i, (k, n) in enumerate(zip(dims, dims[1:])):
+            weights.append(w(k, n))
+            names.append(f"fc{i + 1}")
+    elif model == "nmt":
+        hidden, vocab = 512 // scale, 8000 // scale
+        weights = [w(hidden, hidden), w(hidden, hidden), w(hidden, vocab)]
+        names = ["attention", "combine", "vocab-proj"]
+    else:
+        raise KeyError(f"unknown model {model!r}; expected bert, vgg or nmt")
+    return weights, names

@@ -1,16 +1,24 @@
-"""Command-line interface: prune weights, price models, run sweeps.
+"""Command-line interface over the one front door (:func:`repro.compile`).
 
 Usage (``python -m repro <command> ...``):
 
 - ``prune``   — tile-wise-prune a weight matrix (``.npy``) and save the
-  compacted TW format (``.npz``) plus sparsity statistics;
+  compiled TW model (``.npz``, read back by ``repro.load``) plus sparsity
+  statistics;
 - ``latency`` — price a (model, pattern, sparsity) combination on the
   simulated V100, GEMM-only and end-to-end;
 - ``sweep``   — print a speedup-vs-sparsity table for one pattern;
-- ``info``    — show the device spec and calibration constants in use.
+- ``serve``   — stand up a :class:`~repro.runtime.server.TWModelServer`
+  over a demo weight stack, optionally sharded/replicated across devices,
+  and report throughput;
+- ``info``    — show the device spec, calibration constants and registry
+  contents (``--json`` for machine-readable output).
 
-Every command prints human-readable tables and exits non-zero on invalid
-input, so the CLI is scriptable.
+Every command resolves patterns/engines/placements through the string
+registries and drives the pipeline exclusively via
+``repro.compile(...)`` — there is no hand-wired plan construction here.
+Commands print human-readable tables (or JSON) and exit non-zero on
+invalid input, so the CLI is scriptable.
 """
 
 from __future__ import annotations
@@ -21,7 +29,13 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.patterns.registry import available_engines, available_patterns
+
 __all__ = ["main", "build_parser"]
+
+_PRICE_PATTERNS = sorted(set(available_patterns()) | {"dense", "tew"})
+_SWEEP_PATTERNS = sorted(set(available_patterns()) | {"tew"})
+_PLACEMENTS = ("single", "replicated", "layer_sharded")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,7 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_prune.add_argument("weight", help="path to a 2-D .npy weight matrix")
     p_prune.add_argument("--sparsity", type=float, default=0.75)
     p_prune.add_argument("--granularity", "-G", type=int, default=128)
-    p_prune.add_argument("--out", help="write the compacted TW matrix here (.npz)")
+    p_prune.add_argument(
+        "--out", help="write the compiled model here (.npz, repro.load reads it)"
+    )
     p_prune.add_argument(
         "--split", type=float, default=0.5,
         help="column/row budget split (0=rows only, 1=columns only)",
@@ -44,35 +60,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lat = sub.add_parser("latency", help="price a model on the simulated V100")
     p_lat.add_argument("model", choices=["bert", "vgg", "nmt"])
-    p_lat.add_argument("--pattern", default="tw",
-                       choices=["dense", "tw", "tew", "ew", "vw", "bw"])
+    p_lat.add_argument("--pattern", default="tw", choices=_PRICE_PATTERNS)
     p_lat.add_argument("--sparsity", type=float, default=0.75)
     p_lat.add_argument("--granularity", "-G", type=int, default=128)
-    p_lat.add_argument("--engine", default="tensor_core",
-                       choices=["tensor_core", "cuda_core"])
+    p_lat.add_argument("--engine", default="tensor_core", choices=available_engines())
 
     p_sweep = sub.add_parser("sweep", help="speedup vs sparsity table")
     p_sweep.add_argument("model", choices=["bert", "vgg", "nmt"])
-    p_sweep.add_argument("--pattern", default="tw",
-                         choices=["tw", "tew", "ew", "vw", "bw"])
+    p_sweep.add_argument("--pattern", default="tw", choices=_SWEEP_PATTERNS)
     p_sweep.add_argument("--granularity", "-G", type=int, default=128)
-    p_sweep.add_argument("--engine", default="tensor_core",
-                         choices=["tensor_core", "cuda_core"])
+    p_sweep.add_argument("--engine", default="tensor_core", choices=available_engines())
     p_sweep.add_argument(
         "--sparsities", type=float, nargs="+",
         default=[0.0, 0.25, 0.5, 0.75, 0.9, 0.99],
     )
 
-    sub.add_parser("info", help="device spec and calibration constants")
+    p_serve = sub.add_parser(
+        "serve", help="serve a demo weight stack through the TW pipeline"
+    )
+    p_serve.add_argument("model", choices=["bert", "vgg", "nmt"])
+    p_serve.add_argument("--pattern", default="tw", choices=["tw"],
+                         help="serving executes the TW format")
+    p_serve.add_argument("--sparsity", type=float, default=0.75)
+    p_serve.add_argument("--granularity", "-G", type=int, default=64)
+    p_serve.add_argument("--devices", type=int, default=1,
+                         help="number of (simulated) devices")
+    p_serve.add_argument("--placement", default="single", choices=_PLACEMENTS)
+    p_serve.add_argument("--scale", type=int, default=8,
+                         help="shrink model dims by this factor (demo sizing)")
+    p_serve.add_argument("--blocks", type=int, default=2,
+                         help="encoder blocks (bert stack)")
+    p_serve.add_argument("--requests", type=int, default=16)
+    p_serve.add_argument("--rows", type=int, default=8,
+                         help="activation rows per request")
+    p_serve.add_argument("--dtype", default="float32")
+    p_serve.add_argument("--seed", type=int, default=0)
+
+    p_info = sub.add_parser("info", help="device spec and calibration constants")
+    p_info.add_argument("--json", action="store_true",
+                        help="machine-readable output for harnesses")
     return parser
 
 
 def _cmd_prune(args: argparse.Namespace) -> int:
+    import repro
     from repro.analysis import format_table
-    from repro.core import TWPruneConfig, tw_prune_step
-    from repro.core.importance import magnitude_score
-    from repro.formats import TiledTWMatrix
-    from repro.formats.io import save_tiled
 
     try:
         weight = np.load(args.weight)
@@ -86,46 +118,54 @@ def _cmd_prune(args: argparse.Namespace) -> int:
     if not (0.0 <= args.sparsity < 1.0):
         print("error: --sparsity must be in [0, 1)", file=sys.stderr)
         return 2
-    cfg = TWPruneConfig(granularity=args.granularity, col_row_split=args.split)
-    step = tw_prune_step([magnitude_score(weight)], args.sparsity, cfg)
-    tw = TiledTWMatrix.from_masks(
-        weight, args.granularity, step.col_keeps[0], step.row_masks[0]
+    from repro.core import TWPruneConfig
+
+    model = repro.compile(
+        weight,
+        pattern="tw",
+        sparsity=args.sparsity,
+        prune_config=TWPruneConfig(
+            granularity=args.granularity, col_row_split=args.split
+        ),
     )
+    layer = model.layers[0]
     print(format_table(
         ["metric", "value"],
         [
             ["shape", f"{weight.shape[0]}x{weight.shape[1]}"],
             ["target sparsity", args.sparsity],
-            ["achieved sparsity", step.achieved_sparsity],
-            ["tiles", tw.n_tiles],
-            ["kept columns", tw.kept_columns],
-            ["load imbalance", tw.load_imbalance()],
-            ["memory (fp16+masks)", f"{tw.memory_bytes()} B"],
+            ["achieved sparsity", model.achieved_sparsity],
+            ["tiles", layer.tw.n_tiles],
+            ["kept columns", layer.tw.kept_columns],
+            ["load imbalance", layer.tw.load_imbalance()],
+            ["memory (fp16+masks)", f"{layer.tw.memory_bytes()} B"],
         ],
     ))
     if args.out:
-        save_tiled(tw, args.out)
+        model.save(args.out)
         print(f"wrote {args.out}")
     return 0
 
 
 def _cmd_latency(args: argparse.Namespace) -> int:
+    import repro
     from repro.analysis import format_table
-    from repro.experiments import gemm_speedup
-    from repro.experiments.latency import end_to_end_report
-    from repro.runtime import EngineConfig
 
     if not (0.0 <= args.sparsity <= 1.0):
         print("error: --sparsity must be in [0, 1]", file=sys.stderr)
         return 2
-    speedup = gemm_speedup(
-        args.model, args.pattern, args.sparsity,
-        engine=args.engine, granularity=args.granularity,
-    )
-    rep = end_to_end_report(
-        args.model, args.pattern, args.sparsity,
-        EngineConfig(engine=args.engine), granularity=args.granularity,
-    )
+    try:
+        price = repro.compile(
+            args.model,
+            pattern=args.pattern,
+            sparsity=args.sparsity,
+            granularity=args.granularity,
+            engine=args.engine,
+        ).price()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rep = price.end_to_end
     fr = rep.fractions()
     print(format_table(
         ["metric", "value"],
@@ -134,7 +174,7 @@ def _cmd_latency(args: argparse.Namespace) -> int:
             ["pattern", args.pattern],
             ["sparsity", args.sparsity],
             ["engine", args.engine],
-            ["GEMM-only speedup", f"{speedup:.2f}x"],
+            ["GEMM-only speedup", f"{price.gemm_speedup:.2f}x"],
             ["end-to-end latency", f"{rep.total_us / 1e3:.3f} ms"],
             ["  gemm fraction", fr["gemm"]],
             ["  transpose fraction", fr["transpose"]],
@@ -145,40 +185,142 @@ def _cmd_latency(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import repro
     from repro.analysis import format_table
-    from repro.experiments import gemm_speedup
 
     rows = []
     for s in args.sparsities:
         if not (0.0 <= s <= 1.0):
             print(f"error: sparsity {s} out of [0, 1]", file=sys.stderr)
             return 2
-        rows.append([
-            f"{s:.0%}",
-            gemm_speedup(args.model, args.pattern, s,
-                         engine=args.engine, granularity=args.granularity),
-        ])
+        try:
+            price = repro.compile(
+                args.model,
+                pattern=args.pattern,
+                sparsity=s,
+                granularity=args.granularity,
+                engine=args.engine,
+            ).price()
+        except ValueError as exc:
+            print(f"error: sparsity {s}: {exc}", file=sys.stderr)
+            return 2
+        rows.append([f"{s:.0%}", price.gemm_speedup])
     print(format_table(["sparsity", "speedup (x)"], rows))
     return 0
 
 
-def _cmd_info(_: argparse.Namespace) -> int:
-    import dataclasses
-
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import repro
     from repro.analysis import format_table
-    from repro.gpu.calibration import DEFAULT_CALIBRATION
+    from repro.api import demo_layer_stack
+    from repro.runtime.placement import Placement
+
+    if not (0.0 <= args.sparsity < 1.0):
+        print("error: --sparsity must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.devices < 1:
+        print("error: --devices must be >= 1", file=sys.stderr)
+        return 2
+    if args.placement == "single" and args.devices != 1:
+        print("error: 'single' placement takes exactly one device", file=sys.stderr)
+        return 2
     from repro.gpu.device import V100
 
+    placement = Placement(args.placement, (V100,) * args.devices)
+    weights, names = demo_layer_stack(
+        args.model, scale=args.scale, blocks=args.blocks, seed=args.seed
+    )
+    model = repro.compile(
+        weights,
+        pattern=args.pattern,
+        sparsity=args.sparsity,
+        granularity=args.granularity,
+        placement=placement,
+        dtype=np.dtype(args.dtype),
+        names=names,
+    )
+    server = model.serve()
+    rng = np.random.default_rng(args.seed + 1)
+    k = weights[0].shape[0]
+    for _ in range(args.requests):
+        server.submit(rng.standard_normal((args.rows, k)).astype(args.dtype))
+    server.flush()
+    st = server.stats
+    rows = [
+        ["model", f"{args.model} ({model.n_layers} layers, scale 1/{args.scale})"],
+        ["achieved sparsity", model.achieved_sparsity],
+        ["placement", f"{placement.kind} x{placement.n_devices}"],
+        ["shard layout", " ".join(
+            f"{name}:{n}" for name, n in _shard_counts(server.shard_layout())
+        )],
+        ["requests", st.requests],
+        ["rows", st.rows],
+        ["waves", st.batches],
+        ["GEMMs", st.gemms],
+        ["rows/s (GEMM busy)", f"{st.rows_per_s():.0f}"],
+        ["mean latency", f"{st.mean_latency_s() * 1e3:.3f} ms"],
+        ["busy (sum over devices)", f"{st.busy_s * 1e3:.3f} ms"],
+        ["critical path (max device)", f"{st.critical_path_s() * 1e3:.3f} ms"],
+    ]
+    for name in sorted(st.device_gemms):
+        rows.append([
+            f"  {name}",
+            f"{st.device_gemms[name]} GEMMs, {st.device_busy_s[name] * 1e3:.3f} ms",
+        ])
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _shard_counts(layout: list[str]) -> list[tuple[str, int]]:
+    from collections import Counter
+
+    return sorted(Counter(layout).items())
+
+
+def _info_record() -> dict:
+    import dataclasses
+
+    import repro
+    from repro.gpu.calibration import DEFAULT_CALIBRATION
+    from repro.gpu.device import V100
+    from repro.patterns.registry import available_engines, available_patterns
+    from repro.runtime.placement import PLACEMENTS
+
+    return {
+        "version": repro.__version__,
+        "device": dataclasses.asdict(V100),
+        "calibration": dataclasses.asdict(DEFAULT_CALIBRATION),
+        "registries": {
+            "patterns": available_patterns(),
+            "engines": available_engines(),
+            "placements": PLACEMENTS.names(),
+        },
+    }
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import format_table
+
+    record = _info_record()
+    if getattr(args, "json", False):
+        print(json.dumps(record, indent=1))
+        return 0
     print("device:")
     print(format_table(
         ["field", "value"],
-        [[f.name, getattr(V100, f.name)] for f in dataclasses.fields(V100)],
+        [[k, v] for k, v in record["device"].items()],
     ))
     print("\ncalibration:")
     print(format_table(
         ["constant", "value"],
-        [[f.name, getattr(DEFAULT_CALIBRATION, f.name)]
-         for f in dataclasses.fields(DEFAULT_CALIBRATION)],
+        [[k, v] for k, v in record["calibration"].items()],
+    ))
+    print("\nregistries:")
+    print(format_table(
+        ["registry", "entries"],
+        [[k, " ".join(v)] for k, v in record["registries"].items()],
     ))
     return 0
 
@@ -190,6 +332,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "prune": _cmd_prune,
         "latency": _cmd_latency,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

@@ -51,12 +51,8 @@ from repro.models import (
     NMTConfig,
     VGGConfig,
 )
-from repro.patterns import (
-    BlockWisePattern,
-    ElementWisePattern,
-    Pattern,
-    VectorWisePattern,
-)
+from repro.patterns import Pattern
+from repro.patterns.registry import PATTERNS, make_pattern
 
 __all__ = ["TaskBundle", "prepare_task", "prune_and_evaluate", "TASKS"]
 
@@ -155,13 +151,10 @@ def prepare_task(task: str, seed: int = 0, train_samples: int = 768) -> TaskBund
 
 
 def _baseline_pattern(name: str, **kw) -> Pattern:
-    if name == "ew":
-        return ElementWisePattern()
-    if name == "vw":
-        return VectorWisePattern(vector_size=kw.get("vector_size", 16))
-    if name == "bw":
-        return BlockWisePattern(block_shape=kw.get("block_shape", (32, 32)))
-    raise KeyError(f"unknown baseline pattern {name!r}")
+    """Resolve a baseline pattern through the string registry."""
+    if name not in PATTERNS:
+        raise KeyError(f"unknown baseline pattern {name!r}")
+    return make_pattern(name, **kw)
 
 
 def _multi_stage_baseline(

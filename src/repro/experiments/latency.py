@@ -16,9 +16,17 @@ from repro.models.registry import (
     nmt_gemm_shapes,
     vgg16_gemm_shapes,
 )
+from repro.patterns.registry import resolve_engine
 from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
 
-__all__ = ["MODEL_SHAPES", "model_plans", "gemm_speedup", "sparsity_sweep", "end_to_end_report"]
+__all__ = [
+    "MODEL_SHAPES",
+    "model_plans",
+    "baseline_engine_config",
+    "gemm_speedup",
+    "sparsity_sweep",
+    "end_to_end_report",
+]
 
 #: Full-size GEMM shape factories per paper workload.
 MODEL_SHAPES: dict[str, Callable[[], list[GemmShape]]] = {
@@ -62,6 +70,18 @@ def _dense_baseline_us(
     if memoizable:
         _DENSE_BASELINE_US[key] = dense_us
     return dense_us
+
+
+def baseline_engine_config(pattern: str, config: EngineConfig) -> EngineConfig:
+    """The dense baseline's engine for a pattern (the paper's pairing).
+
+    EW/VW run through cuSparse on CUDA cores, so their dense baseline is
+    the CUDA-core GEMM; every other pattern compares against the requested
+    engine.  Single source of this rule — the facade's pricing
+    (:meth:`repro.api.CompiledTWModel.price`) and :func:`gemm_speedup`
+    both resolve through it.
+    """
+    return EngineConfig(engine="cuda_core") if pattern in ("ew", "vw") else config
 
 
 def model_plans(
@@ -110,10 +130,8 @@ def gemm_speedup(
     """
     shared = infer is None
     infer = infer or _default_engine()
-    config = config or EngineConfig(engine=engine)
-    baseline_cfg = (
-        EngineConfig(engine="cuda_core") if pattern in ("ew", "vw") else config
-    )
+    config = config or EngineConfig(engine=resolve_engine(engine))
+    baseline_cfg = baseline_engine_config(pattern, config)
     plans = model_plans(
         model, pattern, sparsity,
         granularity=granularity, block_size=block_size, tew_delta=tew_delta,

@@ -9,6 +9,7 @@ can be separated — mirroring the paper's offline weight pre-processing
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +28,8 @@ __all__ = [
     "load_bsr",
     "save_tiled",
     "load_tiled",
+    "save_compiled_arrays",
+    "load_compiled_arrays",
 ]
 
 
@@ -113,16 +116,7 @@ def load_bsr(path: str | Path) -> BSRMatrix:
 def save_tiled(matrix: TiledTWMatrix, path: str | Path) -> Path:
     """Write a TW matrix to ``path`` (npz), one entry group per tile."""
     path = Path(path)
-    payload: dict[str, np.ndarray] = {
-        "shape": np.array(matrix.shape, dtype=np.int64),
-        "granularity": np.array([matrix.granularity], dtype=np.int64),
-        "n_tiles": np.array([matrix.n_tiles], dtype=np.int64),
-    }
-    for i, t in enumerate(matrix.tiles):
-        payload[f"tile{i}_cols"] = t.col_indices
-        payload[f"tile{i}_mask_k"] = t.mask_k
-        payload[f"tile{i}_data"] = t.data
-    np.savez_compressed(path, kind="tiled", **payload)
+    np.savez_compressed(path, kind="tiled", **_tiled_payload(matrix))
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
@@ -130,20 +124,92 @@ def load_tiled(path: str | Path) -> TiledTWMatrix:
     """Read a TW matrix written by :func:`save_tiled`."""
     with np.load(path) as f:
         _expect_kind(f, "tiled")
-        n_tiles = int(f["n_tiles"][0])
-        tiles = tuple(
-            TWTile(
-                col_indices=f[f"tile{i}_cols"],
-                mask_k=f[f"tile{i}_mask_k"],
-                data=f[f"tile{i}_data"],
+        return _tiled_from_payload(f)
+
+
+def _tiled_payload(matrix: TiledTWMatrix, prefix: str = "") -> dict[str, np.ndarray]:
+    """The npz entry set of one TW matrix, keys prefixed by ``prefix``."""
+    payload: dict[str, np.ndarray] = {
+        f"{prefix}shape": np.array(matrix.shape, dtype=np.int64),
+        f"{prefix}granularity": np.array([matrix.granularity], dtype=np.int64),
+        f"{prefix}n_tiles": np.array([matrix.n_tiles], dtype=np.int64),
+    }
+    for i, t in enumerate(matrix.tiles):
+        payload[f"{prefix}tile{i}_cols"] = t.col_indices
+        payload[f"{prefix}tile{i}_mask_k"] = t.mask_k
+        payload[f"{prefix}tile{i}_data"] = t.data
+    return payload
+
+
+def _tiled_from_payload(f, prefix: str = "") -> TiledTWMatrix:
+    """Inverse of :func:`_tiled_payload` over an open npz file."""
+    n_tiles = int(f[f"{prefix}n_tiles"][0])
+    tiles = tuple(
+        TWTile(
+            col_indices=f[f"{prefix}tile{i}_cols"],
+            mask_k=f[f"{prefix}tile{i}_mask_k"],
+            data=f[f"{prefix}tile{i}_data"],
+        )
+        for i in range(n_tiles)
+    )
+    return TiledTWMatrix(
+        shape=tuple(int(v) for v in f[f"{prefix}shape"]),
+        granularity=int(f[f"{prefix}granularity"][0]),
+        tiles=tiles,
+    )
+
+
+def save_compiled_arrays(
+    path: str | Path, meta: dict, layers: list[dict]
+) -> Path:
+    """Write a compiled multi-layer TW model to one ``.npz``.
+
+    ``meta`` is any JSON-serialisable compilation metadata; each layer dict
+    holds ``tw`` (:class:`TiledTWMatrix`), ``col_keep`` (``bool[N]``) and
+    ``row_masks`` (list of ``bool[K]``).  This is the array-level half of
+    :meth:`repro.api.CompiledTWModel.save` — kept here so serialization
+    stays a formats concern and the facade stays import-light.
+    """
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "meta_json": np.array(json.dumps(meta)),
+        "n_layers": np.array([len(layers)], dtype=np.int64),
+    }
+    for i, layer in enumerate(layers):
+        prefix = f"l{i}_"
+        payload.update(_tiled_payload(layer["tw"], prefix))
+        payload[f"{prefix}col_keep"] = np.asarray(layer["col_keep"], dtype=bool)
+        masks = layer["row_masks"]
+        payload[f"{prefix}n_row_masks"] = np.array([len(masks)], dtype=np.int64)
+        for j, mask in enumerate(masks):
+            payload[f"{prefix}row_mask{j}"] = np.asarray(mask, dtype=bool)
+    np.savez_compressed(path, kind="compiled-tw", **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_compiled_arrays(path: str | Path) -> tuple[dict, list[dict]]:
+    """Read a compiled model written by :func:`save_compiled_arrays`.
+
+    Returns ``(meta, layers)`` with each layer's ``tw`` / ``col_keep`` /
+    ``row_masks`` restored bit-exactly.
+    """
+    with np.load(path) as f:
+        _expect_kind(f, "compiled-tw")
+        meta = json.loads(str(f["meta_json"]))
+        layers = []
+        for i in range(int(f["n_layers"][0])):
+            prefix = f"l{i}_"
+            layers.append(
+                {
+                    "tw": _tiled_from_payload(f, prefix),
+                    "col_keep": f[f"{prefix}col_keep"],
+                    "row_masks": [
+                        f[f"{prefix}row_mask{j}"]
+                        for j in range(int(f[f"{prefix}n_row_masks"][0]))
+                    ],
+                }
             )
-            for i in range(n_tiles)
-        )
-        return TiledTWMatrix(
-            shape=tuple(int(v) for v in f["shape"]),
-            granularity=int(f["granularity"][0]),
-            tiles=tiles,
-        )
+        return meta, layers
 
 
 def _expect_kind(f, kind: str) -> None:

@@ -22,6 +22,15 @@ from repro.patterns.vector_wise import VectorWisePattern
 from repro.patterns.block_wise import BlockWisePattern
 from repro.patterns.tile_wise import TileWisePattern
 from repro.patterns.n_m import NMSparsityPattern
+from repro.patterns.registry import (
+    ENGINES,
+    PATTERNS,
+    Registry,
+    available_engines,
+    available_patterns,
+    make_pattern,
+    resolve_engine,
+)
 
 __all__ = [
     "Pattern",
@@ -31,4 +40,11 @@ __all__ = [
     "BlockWisePattern",
     "TileWisePattern",
     "NMSparsityPattern",
+    "Registry",
+    "PATTERNS",
+    "ENGINES",
+    "make_pattern",
+    "resolve_engine",
+    "available_patterns",
+    "available_engines",
 ]

@@ -1,0 +1,160 @@
+"""String registries for sparsity patterns and execution engines.
+
+Mirrors :mod:`repro.models.registry`: every pattern and engine the pipeline
+understands is a *registry entry*, so adding a new one is one
+``register(...)`` call instead of a new code path threaded through
+``cli.py``, the experiments and the serving layer.  The front door
+(:func:`repro.compile`) and the CLI resolve all user-facing strings here,
+which is what makes their error messages uniform and their ``choices``
+lists self-updating.
+
+Two registries ship by default:
+
+- :data:`PATTERNS` — mask-producing pruning patterns
+  (:class:`~repro.patterns.base.Pattern` factories): ``ew``, ``vw``,
+  ``bw``, ``tw``, ``nm``.
+- :data:`ENGINES` — GEMM execution engines priced by the cost models:
+  ``tensor_core`` (alias ``tc``) and ``cuda_core`` (alias ``cc``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+__all__ = [
+    "Registry",
+    "PATTERNS",
+    "ENGINES",
+    "make_pattern",
+    "resolve_engine",
+    "available_patterns",
+    "available_engines",
+]
+
+
+class Registry:
+    """A small name → factory map with helpful unknown-name errors.
+
+    Entries may declare aliases; :meth:`canonical` folds an alias back to
+    its primary name so cache keys and reports stay uniform.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable[..., Any]] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Any] | None = None,
+        *,
+        aliases: tuple[str, ...] = (),
+    ):
+        """Register ``factory`` under ``name`` (usable as a decorator)."""
+
+        def _add(fn: Callable[..., Any]) -> Callable[..., Any]:
+            if name in self._factories or name in self._aliases:
+                raise ValueError(f"{self.kind} {name!r} already registered")
+            self._factories[name] = fn
+            for alias in aliases:
+                if alias in self._factories or alias in self._aliases:
+                    raise ValueError(f"{self.kind} alias {alias!r} already registered")
+                self._aliases[alias] = name
+            return fn
+
+        return _add(factory) if factory is not None else _add
+
+    def names(self) -> list[str]:
+        """Primary (canonical) names, sorted."""
+        return sorted(self._factories)
+
+    def canonical(self, name: str) -> str:
+        """Resolve ``name`` (or an alias) to its primary name, or raise."""
+        if name in self._factories:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        raise KeyError(
+            f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories or name in self._aliases
+
+    def create(self, name: str, **kwargs: Any) -> Any:
+        """Instantiate the entry registered under ``name``."""
+        return self._factories[self.canonical(name)](**kwargs)
+
+
+PATTERNS = Registry("pattern")
+ENGINES = Registry("engine")
+
+
+def _register_default_patterns() -> None:
+    # deferred imports keep registry import light and cycle-free (the
+    # pattern modules import repro.core, which never imports this module)
+    from repro.patterns.block_wise import BlockWisePattern
+    from repro.patterns.element_wise import ElementWisePattern
+    from repro.patterns.n_m import NMSparsityPattern
+    from repro.patterns.tile_wise import TileWisePattern
+    from repro.patterns.vector_wise import VectorWisePattern
+
+    def _tw(granularity: int = 128, config=None, **_ignored):
+        return TileWisePattern(config=config) if config is not None else (
+            TileWisePattern(granularity=granularity)
+        )
+
+    PATTERNS.register("tw", _tw, aliases=("tile_wise", "tilewise"))
+    PATTERNS.register(
+        "ew",
+        lambda **kw: ElementWisePattern(),
+        aliases=("element_wise",),
+    )
+    PATTERNS.register(
+        "vw",
+        lambda vector_size=16, **_kw: VectorWisePattern(vector_size=vector_size),
+        aliases=("vector_wise",),
+    )
+    PATTERNS.register(
+        "bw",
+        lambda block_shape=(32, 32), **_kw: BlockWisePattern(block_shape=block_shape),
+        aliases=("block_wise",),
+    )
+    PATTERNS.register(
+        "nm",
+        lambda n=2, m=4, **_kw: NMSparsityPattern(n=n, m=m),
+        aliases=("n_m", "2:4"),
+    )
+
+
+def _register_default_engines() -> None:
+    # engines are identified by their canonical string; the factory simply
+    # returns it (the cost models and EngineConfig consume the name)
+    ENGINES.register("tensor_core", lambda: "tensor_core", aliases=("tc",))
+    ENGINES.register("cuda_core", lambda: "cuda_core", aliases=("cc",))
+
+
+_register_default_patterns()
+_register_default_engines()
+
+
+def make_pattern(name: str, **kwargs: Any):
+    """Instantiate a registered pattern by name (``tw``, ``ew``, ...)."""
+    return PATTERNS.create(name, **kwargs)
+
+
+def resolve_engine(name: str) -> str:
+    """Canonical engine name for ``name`` (folds aliases, raises on unknown)."""
+    return ENGINES.canonical(name)
+
+
+def available_patterns() -> list[str]:
+    """Canonical pattern names."""
+    return PATTERNS.names()
+
+
+def available_engines() -> list[str]:
+    """Canonical engine names."""
+    return ENGINES.names()

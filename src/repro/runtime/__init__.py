@@ -27,14 +27,18 @@ Modules
 - :mod:`repro.runtime.layout` — transpose-kernel placement and cost;
 - :mod:`repro.runtime.batching` — cross-tile batching plans;
 - :mod:`repro.runtime.scheduler` — stream assignment + execution plans;
+- :mod:`repro.runtime.placement` — multi-device placement policies
+  (``single`` / ``replicated`` / ``layer_sharded``);
 - :mod:`repro.runtime.server` — :class:`TWModelServer`, the serving layer
-  that caches formats/plans per weight fingerprint and micro-batches
-  concurrent requests into one GEMM per layer.
+  that caches formats/plans per weight fingerprint, micro-batches
+  concurrent requests into one GEMM per layer, and dispatches waves
+  across a :class:`~repro.runtime.placement.Placement`'s devices.
 """
 
 from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
 from repro.runtime.layout import TransposePlan, transpose_cost
 from repro.runtime.batching import BatchGroup, batching_plan
+from repro.runtime.placement import PLACEMENTS, Placement, resolve_placement
 from repro.runtime.scheduler import (
     ExecutionPlan,
     StreamAssignment,
@@ -50,6 +54,9 @@ from repro.runtime.server import (
 )
 
 __all__ = [
+    "Placement",
+    "PLACEMENTS",
+    "resolve_placement",
     "InferenceEngine",
     "EngineConfig",
     "LayerPlan",

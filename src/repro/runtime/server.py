@@ -11,12 +11,22 @@ GEMMs.  :class:`TWModelServer` operationalises that split:
   and plans, every later request replays the cached
   :class:`~repro.runtime.scheduler.ExecutionPlan` — amortising construction
   across millions of calls (cache-hit counters make this observable).
+  :meth:`TWModelServer.preload` lets a compiled model
+  (:class:`repro.api.CompiledTWModel`) seed these caches so serving starts
+  warm.
 - **Micro-batching**: concurrent requests' activations stack into one
   matrix, so each layer runs *one* batched GEMM for the whole wave instead
   of one per request (``submit`` + ``flush``; ``serve`` is the
   single-request convenience).
+- **Multi-device placement** (ROADMAP PR 2 open item): a
+  :class:`~repro.runtime.placement.Placement` spreads work over several
+  :class:`~repro.gpu.device.DeviceSpec`\\ s — ``replicated`` round-robins
+  waves across full-model replicas, ``layer_sharded`` splits the layer
+  stack so each wave flows shard to shard.  The plan cache is already
+  device-keyed, so sharding composes with it rather than replacing it.
 - **Stats**: per-request latency, per-flush batch sizes, rows/s and
-  requests/s throughput, and stream-imbalance diagnostics from the plans.
+  requests/s throughput, per-device busy time/GEMM counts, and
+  stream-imbalance diagnostics from the plans.
 
 Execution order inside a layer follows the cached plan's stream issue
 order, so what the cost model prices (plan → batch → stream) is exactly
@@ -28,13 +38,14 @@ from __future__ import annotations
 import hashlib
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 
 import numpy as np
 
 from repro.formats.tiled import TiledTWMatrix
 from repro.gpu.device import DeviceSpec, V100
 from repro.kernels.masked import tw_gemm
+from repro.runtime.placement import Placement
 from repro.runtime.scheduler import ExecutionPlan, build_execution_plan
 
 __all__ = [
@@ -46,6 +57,25 @@ __all__ = [
 ]
 
 
+def _hash_array(h, tag: bytes, arr: np.ndarray) -> None:
+    """Feed one array into ``h`` with an unambiguous header.
+
+    The header carries a tag, the logical shape, the dtype and the
+    contiguous strides, each length-delimited — so arrays of different
+    shapes (a matrix vs its transpose, two masks vs one twice as long)
+    can never produce the same byte stream even when their raw bytes
+    coincide.  ``ascontiguousarray`` first normalises the memory order,
+    making the fingerprint a function of the *logical* array: an F-order
+    view and its C-order copy hash identically.
+    """
+    arr = np.ascontiguousarray(arr)
+    header = repr((arr.shape, arr.dtype.str, arr.strides, "C")).encode()
+    h.update(b"%s:%d:" % (tag, len(header)))
+    h.update(header)
+    h.update(b"%d:" % arr.nbytes)
+    h.update(arr.tobytes())
+
+
 def weight_fingerprint(
     dense: np.ndarray,
     col_keep: np.ndarray,
@@ -54,15 +84,18 @@ def weight_fingerprint(
     """Content hash of a layer's weights + pruning masks (cache identity).
 
     Computed once at registration; two models sharing weights and masks
-    share format-cache entries regardless of object identity.
+    share format-cache entries regardless of object identity.  Every array
+    is hashed with a shape/dtype/strides header and a length delimiter, so
+    a matrix and its transpose (same bytes, different shape) or two short
+    row masks and one long one (same concatenated bytes) get distinct
+    fingerprints.
     """
     h = hashlib.sha1()
-    arr = np.ascontiguousarray(dense)
-    h.update(repr((arr.shape, arr.dtype.str)).encode())
-    h.update(arr.tobytes())
-    h.update(np.ascontiguousarray(col_keep, dtype=bool).tobytes())
+    _hash_array(h, b"dense", np.asarray(dense))
+    _hash_array(h, b"col_keep", np.ascontiguousarray(col_keep, dtype=bool))
+    h.update(b"masks:%d:" % len(row_masks))
     for mask in row_masks:
-        h.update(np.ascontiguousarray(mask, dtype=bool).tobytes())
+        _hash_array(h, b"row_mask", np.ascontiguousarray(mask, dtype=bool))
     return h.hexdigest()
 
 
@@ -72,21 +105,81 @@ class ServerConfig:
 
     Every field is part of a cache key: changing the granularity, payload
     dtype, batching/stream switches or device re-plans on first use.
+
+    Attributes
+    ----------
+    granularity:
+        TW tile width the server compacts at.
+    batching, streams:
+        Plan switches (paper Fig. 7 steps 3–4).
+    dtype:
+        Payload/activation dtype for serving.
+    max_wave_rows:
+        Row cap per micro-batch wave; larger queues split into successive
+        waves (requests never split across waves).  The PR 2 name
+        ``max_batch_rows`` is still accepted as a constructor alias and
+        readable as an attribute.
+    queue_timeout_s:
+        Per-request latency budget; requests whose observed latency
+        (queueing + execution) exceeds it are counted in
+        ``stats.deadline_misses``.  ``0`` disables the accounting.
+    device:
+        The single-device anchor (ignored when ``placement`` is given).
+    placement:
+        Multi-device policy; ``None`` means single-device on ``device``.
     """
 
     granularity: int = 128
     batching: bool = True
     streams: bool = True
     dtype: str = "float64"
-    max_batch_rows: int = 8192
+    max_wave_rows: int = 8192
+    queue_timeout_s: float = 0.0
     device: DeviceSpec = V100
+    placement: Placement | None = None
+    #: deprecated constructor alias for :attr:`max_wave_rows` (PR 2 name)
+    max_batch_rows: InitVar[int | None] = None
 
-    def __post_init__(self) -> None:
-        if self.granularity <= 0:
-            raise ValueError(f"granularity must be positive, got {self.granularity}")
-        if self.max_batch_rows <= 0:
-            raise ValueError(f"max_batch_rows must be positive, got {self.max_batch_rows}")
+    def __post_init__(self, max_batch_rows: int | None) -> None:
+        if max_batch_rows is not None:
+            if self.max_wave_rows != _DEFAULT_WAVE_ROWS and (
+                self.max_wave_rows != max_batch_rows
+            ):
+                raise ValueError(
+                    "pass max_wave_rows or its alias max_batch_rows, not "
+                    f"conflicting values ({self.max_wave_rows} vs {max_batch_rows})"
+                )
+            object.__setattr__(self, "max_wave_rows", max_batch_rows)
+        if not isinstance(self.granularity, int) or self.granularity <= 0:
+            raise ValueError(f"granularity must be a positive int, got {self.granularity!r}")
+        if not isinstance(self.max_wave_rows, int) or self.max_wave_rows <= 0:
+            raise ValueError(
+                f"max_wave_rows must be a positive int, got {self.max_wave_rows!r}"
+            )
+        if not np.isfinite(self.queue_timeout_s) or self.queue_timeout_s < 0:
+            raise ValueError(
+                f"queue_timeout_s must be finite and non-negative, got {self.queue_timeout_s!r}"
+            )
         np.dtype(self.dtype)  # raises on unknown dtype names
+        if self.placement is not None and not isinstance(self.placement, Placement):
+            raise TypeError(
+                f"placement must be a Placement or None, got {type(self.placement).__name__}"
+            )
+
+    def resolved_placement(self) -> Placement:
+        """The effective placement (``device`` wrapped as ``single``)."""
+        return self.placement or Placement("single", (self.device,))
+
+
+_DEFAULT_WAVE_ROWS = 8192
+
+# readable alias (the InitVar above only covers the constructor; the
+# dataclass-generated __init__ captured its defaults at decoration, so
+# replacing the class attribute with a property afterwards is safe)
+ServerConfig.max_batch_rows = property(
+    lambda self: self.max_wave_rows,
+    doc="Backward-compatible read alias of max_wave_rows.",
+)
 
 
 @dataclass
@@ -121,7 +214,13 @@ class ServerStats:
     plan_misses: int = 0
     busy_s: float = 0.0
     latency_total_s: float = 0.0
+    deadline_misses: int = 0
     latencies_s: deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    #: GEMM busy seconds attributed to each placement slot (``name#index``;
+    #: two replicas of the same device model are distinct slots)
+    device_busy_s: dict[str, float] = field(default_factory=dict)
+    #: GEMM launches attributed to each placement slot (``name#index``)
+    device_gemms: dict[str, int] = field(default_factory=dict)
 
     def rows_per_s(self) -> float:
         """Activation rows served per second of GEMM busy time."""
@@ -134,6 +233,15 @@ class ServerStats:
     def mean_latency_s(self) -> float:
         """Mean per-request latency (queueing + execution) over all requests."""
         return self.latency_total_s / self.requests if self.requests else 0.0
+
+    def critical_path_s(self) -> float:
+        """Busiest single device's GEMM time — the sharded makespan bound.
+
+        With perfect overlap across shards/replicas, wall time approaches
+        this instead of :attr:`busy_s` (the sum over devices); the ratio
+        ``busy_s / critical_path_s`` is the placement's parallel headroom.
+        """
+        return max(self.device_busy_s.values(), default=0.0)
 
 
 @dataclass(frozen=True)
@@ -158,6 +266,7 @@ class TWModelServer:
 
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
+        self.placement = self.config.resolved_placement()
         self.stats = ServerStats()
         self._layers: list[_Layer] = []
         self._formats: dict[tuple, TiledTWMatrix] = {}
@@ -196,11 +305,43 @@ class TWModelServer:
         """Registered layers."""
         return len(self._layers)
 
+    def shard_layout(self) -> list[str]:
+        """Device slot (``name#index``) owning each layer under the placement."""
+        return self.placement.shard_labels(self.n_layers)
+
     def warm(self) -> None:
-        """Prebuild every layer's format and plan (optional cold-start hide)."""
-        for layer in self._layers:
+        """Prebuild every layer's format and plans (optional cold-start hide)."""
+        plan_devices = self.placement.plan_devices(self.n_layers)
+        for layer, devices in zip(self._layers, plan_devices):
             tw = self._format_for(layer)
-            self._plan_for(layer, tw)
+            for device in devices:
+                self._plan_for(layer, tw, device)
+
+    def preload(
+        self,
+        index: int,
+        tw: TiledTWMatrix,
+        plans: dict[DeviceSpec, ExecutionPlan] | None = None,
+    ) -> bool:
+        """Seed the caches for layer ``index`` with prebuilt artifacts.
+
+        Called by :meth:`repro.api.CompiledTWModel.serve` so compilation
+        work is reused instead of redone.  The format is only adopted when
+        it matches this server's config (granularity and payload dtype);
+        plans only when the server runs the full plan pipeline
+        (``batching`` and ``streams`` on, as the compiler builds them).
+        Returns whether the format was adopted.
+        """
+        layer = self._layers[index]
+        if tw.granularity != self.config.granularity or tw.dtype != np.dtype(self.config.dtype):
+            return False
+        if tw.shape != layer.dense.shape:
+            return False
+        self._formats.setdefault(self._format_key(layer), tw)
+        if plans and self.config.batching and self.config.streams:
+            for device, plan in plans.items():
+                self._plans.setdefault(self._plan_key(layer, device), plan)
+        return True
 
     # ------------------------------------------------------------------ #
     # caches
@@ -225,13 +366,19 @@ class TWModelServer:
         self._formats[key] = tw
         return tw
 
-    def _plan_for(self, layer: _Layer, tw: TiledTWMatrix) -> ExecutionPlan:
-        key = (
+    def _plan_key(self, layer: _Layer, device: DeviceSpec) -> tuple:
+        return (
             self._format_key(layer),
             self.config.batching,
             self.config.streams,
-            self.config.device,
+            device,
         )
+
+    def _plan_for(
+        self, layer: _Layer, tw: TiledTWMatrix, device: DeviceSpec | None = None
+    ) -> ExecutionPlan:
+        device = device if device is not None else self.placement.primary
+        key = self._plan_key(layer, device)
         hit = self._plans.get(key)
         if hit is not None:
             self.stats.plan_hits += 1
@@ -239,7 +386,7 @@ class TWModelServer:
         self.stats.plan_misses += 1
         plan = build_execution_plan(
             tw,
-            self.config.device,
+            device,
             batching=self.config.batching,
             streams=self.config.streams,
         )
@@ -268,8 +415,11 @@ class TWModelServer:
     def flush(self) -> list[ServedRequest]:
         """Run every queued request as micro-batched GEMMs (one per layer).
 
-        Waves larger than ``max_batch_rows`` split into successive
-        micro-batches; requests never split across batches.
+        Waves larger than ``max_wave_rows`` split into successive
+        micro-batches; requests never split across waves.  Under a
+        ``replicated`` placement successive waves round-robin across the
+        device replicas; under ``layer_sharded`` every wave flows shard to
+        shard, each layer executing with its own device's cached plan.
         """
         served: list[ServedRequest] = []
         while self._pending:
@@ -277,7 +427,7 @@ class TWModelServer:
             rows = 0
             while self._pending:
                 r = self._pending[0][1].shape[0]
-                if wave and rows + r > self.config.max_batch_rows:
+                if wave and rows + r > self.config.max_wave_rows:
                     break
                 wave.append(self._pending.popleft())
                 rows += r
@@ -289,20 +439,37 @@ class TWModelServer:
         self.submit(x)
         return self.flush()[-1]
 
+    def _wave_devices(self, wave_index: int) -> list[int]:
+        """Placement device slot executing each layer for the given wave."""
+        n = self.n_layers
+        if self.placement.kind == "replicated":
+            return [self.placement.replica_for_wave(wave_index)] * n
+        return self.placement.layer_shards(n)
+
     def _run_batch(self, wave: list[tuple[int, np.ndarray, float]]) -> list[ServedRequest]:
         dtype = np.dtype(self.config.dtype)
         batch = np.concatenate([x for _, x, _ in wave], axis=0)
+        slots = self._wave_devices(self._batch_id)
+        labels = self.placement.device_labels()
         # resolve caches first: busy_s times GEMM execution only, so the
         # cold construction path never inflates throughput numbers
         resolved = []
-        for layer in self._layers:
+        for layer, slot in zip(self._layers, slots):
             tw = self._format_for(layer)
-            resolved.append((tw, self._plan_for(layer, tw)))
-        t0 = time.perf_counter()
+            plan = self._plan_for(layer, tw, self.placement.devices[slot])
+            resolved.append((tw, plan, labels[slot]))
         a = batch.astype(dtype, copy=False)
-        for tw, plan in resolved:
+        t0 = time.perf_counter()
+        t_prev = t0
+        for tw, plan, label in resolved:
             a = tw_gemm(a, tw, plan=plan)
+            t_now = time.perf_counter()
             self.stats.gemms += 1
+            self.stats.device_gemms[label] = self.stats.device_gemms.get(label, 0) + 1
+            self.stats.device_busy_s[label] = (
+                self.stats.device_busy_s.get(label, 0.0) + (t_now - t_prev)
+            )
+            t_prev = t_now
         done = time.perf_counter()
         self.stats.busy_s += done - t0
         self.stats.batches += 1
@@ -316,6 +483,8 @@ class TWModelServer:
             self.stats.rows += r
             self.stats.latency_total_s += latency
             self.stats.latencies_s.append(latency)
+            if self.config.queue_timeout_s and latency > self.config.queue_timeout_s:
+                self.stats.deadline_misses += 1
             out.append(
                 ServedRequest(
                     request_id=rid,

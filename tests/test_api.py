@@ -1,0 +1,287 @@
+"""Tests for the front door: repro.compile() → CompiledTWModel."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
+from repro.formats.tiled import TiledTWMatrix
+from repro.gpu.device import T4, V100
+from repro.kernels.masked import tw_gemm
+from repro.runtime.placement import Placement, resolve_placement
+from repro.runtime.scheduler import build_execution_plan
+
+
+@pytest.fixture()
+def stack():
+    rng = np.random.default_rng(0)
+    # dyadic weights keep every product exactly representable, so the
+    # facade-vs-hand-wired comparison is bit-for-bit by contract
+    weights = [
+        np.round(rng.standard_normal((32, 32)) * 4) / 4 for _ in range(3)
+    ]
+    x = np.round(rng.standard_normal((5, 32)) * 4) / 4
+    return weights, x
+
+
+def _hand_wired(weights, x, sparsity, g):
+    step = tw_prune_step([np.abs(w) for w in weights], sparsity, TWPruneConfig(granularity=g))
+    a = x
+    for i, w in enumerate(weights):
+        tw = TiledTWMatrix.from_masks(w, g, step.col_keeps[i], step.row_masks[i])
+        plan = build_execution_plan(tw, V100)
+        a = tw_gemm(a, tw, plan=plan)
+    return a
+
+
+class TestCompileRun:
+    def test_matches_hand_wired_bit_for_bit(self, stack):
+        weights, x = stack
+        model = repro.compile(weights, pattern="tw", sparsity=0.5, granularity=8)
+        np.testing.assert_array_equal(
+            model.run(x), _hand_wired(weights, x, 0.5, 8)
+        )
+
+    def test_single_matrix_input(self, stack):
+        weights, x = stack
+        model = repro.compile(weights[0], sparsity=0.5, granularity=8)
+        assert model.n_layers == 1
+        np.testing.assert_array_equal(
+            model.run(x), _hand_wired(weights[:1], x, 0.5, 8)
+        )
+
+    def test_nn_module_input(self):
+        from repro.models import BertConfig, MiniBERTClassifier
+
+        model = MiniBERTClassifier(
+            BertConfig(vocab_size=32, dim=16, n_layers=1, n_heads=2, max_len=8, seed=0),
+            n_classes=2,
+        )
+        compiled = repro.compile(model, sparsity=0.5, granularity=4)
+        assert compiled.n_layers == len(model.prunable_weights())
+        assert compiled.executable
+
+    def test_pattern_aliases_canonicalised(self, stack):
+        weights, _ = stack
+        model = repro.compile(weights, pattern="tile_wise", sparsity=0.5, granularity=8)
+        assert model.pattern == "tw"
+        assert repro.compile(weights, engine="tc", sparsity=0.5,
+                             granularity=8).engine == "tensor_core"
+
+    def test_mask_only_patterns_run_as_masked_dense(self, stack):
+        weights, x = stack
+        model = repro.compile(weights, pattern="ew", sparsity=0.5)
+        want = x
+        for layer in model.layers:
+            want = want @ (layer.dense * layer.mask)
+        np.testing.assert_array_equal(model.run(x), want)
+        assert model.achieved_sparsity == pytest.approx(0.5, abs=0.02)
+
+    def test_dense_pattern_is_identity_masks(self, stack):
+        weights, x = stack
+        model = repro.compile(weights, pattern="dense", sparsity=0.0)
+        want = x
+        for w in weights:
+            want = want @ w
+        np.testing.assert_array_equal(model.run(x), want)
+
+    def test_chain_mismatch_rejected(self):
+        rng = np.random.default_rng(1)
+        model = repro.compile(
+            [rng.standard_normal((8, 6)), rng.standard_normal((7, 4))],
+            sparsity=0.25, granularity=2,
+        )
+        with pytest.raises(ValueError, match="chain"):
+            model.run(rng.standard_normal((2, 8)))
+
+    def test_prune_report(self, stack):
+        weights, _ = stack
+        model = repro.compile(weights, sparsity=0.5, granularity=8)
+        rep = model.prune_report()
+        assert rep["pattern"] == "tw"
+        assert rep["achieved_sparsity"] == pytest.approx(0.5, abs=0.02)
+        assert len(rep["layers"]) == 3
+        assert all("tiles" in l and "load_imbalance" in l for l in rep["layers"])
+
+
+class TestRegistryErrors:
+    def test_unknown_pattern_lists_available(self, stack):
+        weights, _ = stack
+        with pytest.raises(KeyError, match="unknown pattern 'banana'.*bw.*tw"):
+            repro.compile(weights, pattern="banana")
+
+    def test_unknown_engine_lists_available(self, stack):
+        weights, _ = stack
+        with pytest.raises(KeyError, match="unknown engine 'tpu'.*cuda_core.*tensor_core"):
+            repro.compile(weights, engine="tpu")
+
+    def test_unknown_placement_kind(self):
+        with pytest.raises(KeyError, match="unknown placement 'diagonal'"):
+            Placement("diagonal", (V100,))
+
+    def test_unknown_model_name(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            repro.compile("resnet")
+
+    def test_tew_weights_compile_explains(self, stack):
+        weights, _ = stack
+        with pytest.raises(ValueError, match="price-only"):
+            repro.compile(weights, pattern="tew")
+
+
+class TestSaveLoad:
+    def test_round_trip_bit_identical(self, stack, tmp_path):
+        weights, x = stack
+        model = repro.compile(weights, sparsity=0.5, granularity=8)
+        want = _hand_wired(weights, x, 0.5, 8)
+        path = model.save(tmp_path / "m.npz")
+        loaded = repro.load(path)
+        np.testing.assert_array_equal(loaded.run(x), want)
+        assert loaded.pattern == model.pattern
+        assert loaded.granularity == model.granularity
+        assert loaded.achieved_sparsity == model.achieved_sparsity
+        assert loaded.placement == model.placement
+        assert [l.name for l in loaded.layers] == [l.name for l in model.layers]
+
+    def test_round_trip_preserves_placement_devices(self, stack, tmp_path):
+        weights, x = stack
+        model = repro.compile(
+            weights, sparsity=0.5, granularity=8,
+            placement=Placement("layer_sharded", (V100, T4)),
+        )
+        loaded = repro.load(model.save(tmp_path / "m.npz"))
+        assert loaded.placement.kind == "layer_sharded"
+        assert [d.name for d in loaded.placement.devices] == [V100.name, T4.name]
+        np.testing.assert_array_equal(loaded.run(x), model.run(x))
+
+    def test_loaded_model_serves(self, stack, tmp_path):
+        weights, x = stack
+        model = repro.compile(weights, sparsity=0.5, granularity=8)
+        loaded = repro.load(model.save(tmp_path / "m.npz"))
+        server = loaded.serve()
+        np.testing.assert_array_equal(server.serve(x).output, model.run(x))
+
+    def test_mask_only_save_rejected(self, stack, tmp_path):
+        weights, _ = stack
+        model = repro.compile(weights, pattern="ew", sparsity=0.5)
+        with pytest.raises(ValueError, match="TW"):
+            model.save(tmp_path / "m.npz")
+
+
+class TestPlacement:
+    def test_layer_sharded_matches_single(self, stack):
+        weights, x = stack
+        single = repro.compile(weights, sparsity=0.5, granularity=8)
+        sharded = repro.compile(
+            weights, sparsity=0.5, granularity=8,
+            placement=Placement("layer_sharded", (V100, T4)),
+        )
+        np.testing.assert_array_equal(sharded.run(x), single.run(x))
+
+    def test_replicated_matches_single(self, stack):
+        weights, x = stack
+        single = repro.compile(weights, sparsity=0.5, granularity=8)
+        repl = repro.compile(
+            weights, sparsity=0.5, granularity=8,
+            placement=Placement("replicated", (V100, V100)),
+        )
+        np.testing.assert_array_equal(repl.run(x), single.run(x))
+
+    def test_shard_layout_contiguous(self, stack):
+        weights, _ = stack
+        model = repro.compile(
+            weights, sparsity=0.5, granularity=8,
+            placement=Placement("layer_sharded", (V100, T4)),
+        )
+        layout = model.shard_layout()
+        assert layout == [f"{V100.name}#0", f"{V100.name}#0", f"{T4.name}#1"]
+
+    def test_layer_shards_balanced(self):
+        p = Placement("layer_sharded", (V100, T4))
+        assert p.layer_shards(4) == [0, 0, 1, 1]
+        assert p.layer_shards(3) == [0, 0, 1]
+        assert p.layer_shards(1) == [0]
+        assert p.layer_shards(0) == []
+
+    def test_single_requires_one_device(self):
+        with pytest.raises(ValueError, match="exactly one device"):
+            Placement("single", (V100, T4))
+
+    def test_resolve_placement_forms(self):
+        assert resolve_placement(None).kind == "single"
+        assert resolve_placement("replicated", [V100, T4]).n_devices == 2
+        assert resolve_placement(None, [V100, T4]).kind == "replicated"
+        with pytest.raises(TypeError):
+            resolve_placement(42)
+
+    def test_serve_preseeds_caches(self, stack):
+        weights, x = stack
+        model = repro.compile(
+            weights, sparsity=0.5, granularity=8,
+            placement=Placement("layer_sharded", (V100, T4)),
+        )
+        server = model.serve()
+        out = server.serve(x).output
+        # compiled formats and per-shard plans were adopted: zero misses
+        assert server.stats.format_misses == 0
+        assert server.stats.plan_misses == 0
+        np.testing.assert_array_equal(out, model.run(x))
+
+
+class TestPrice:
+    def test_weight_stack_pricing_uses_real_geometry(self, stack):
+        weights, _ = stack
+        model = repro.compile(weights, sparsity=0.5, granularity=8)
+        price = model.price(m=256)
+        assert price.sparse_gemm_us > 0
+        assert price.dense_gemm_us > 0
+        assert price.gemm_speedup == pytest.approx(
+            price.dense_gemm_us / price.sparse_gemm_us
+        )
+        assert price.end_to_end is None
+
+    def test_named_model_pricing_matches_experiments(self):
+        from repro.experiments.latency import gemm_speedup
+
+        price = repro.compile("bert", sparsity=0.75).price()
+        assert price.end_to_end is not None
+        assert price.gemm_speedup == pytest.approx(
+            gemm_speedup("bert", "tw", 0.75), rel=1e-12
+        )
+
+    def test_named_model_cannot_run(self):
+        model = repro.compile("bert", sparsity=0.75)
+        with pytest.raises(ValueError, match="shapes only"):
+            model.run(np.zeros((1, 768)))
+        with pytest.raises(ValueError, match="shapes only"):
+            model.serve()
+
+    def test_bad_m_rejected(self, stack):
+        weights, _ = stack
+        model = repro.compile(weights, sparsity=0.5, granularity=8)
+        with pytest.raises(ValueError, match="m must be positive"):
+            model.price(m=0)
+
+
+class TestDemoStack:
+    @pytest.mark.parametrize("name", ["bert", "vgg", "nmt"])
+    def test_stacks_chain(self, name):
+        from repro.api import demo_layer_stack
+
+        weights, names = demo_layer_stack(name, scale=16, blocks=1)
+        assert len(weights) == len(names)
+        for prev, nxt in zip(weights, weights[1:]):
+            assert prev.shape[1] == nxt.shape[0]
+
+    def test_bert_stack_serves_sharded(self):
+        from repro.api import demo_layer_stack
+
+        weights, names = demo_layer_stack("bert", scale=32, blocks=1, seed=3)
+        model = repro.compile(
+            weights, sparsity=0.5, granularity=4, names=names,
+            placement=Placement("layer_sharded", (V100, V100, T4)),
+        )
+        server = model.serve()
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((4, weights[0].shape[0]))
+        np.testing.assert_array_equal(server.serve(x).output, model.run(x))

@@ -1,0 +1,40 @@
+"""Opt-in CI gate: diff a fresh hot-path bench run against the baseline.
+
+Deselected by default (see ``addopts`` in ``pytest.ini``); run with::
+
+    PYTHONPATH=src python -m pytest -m bench_gate
+
+This wraps ``benchmarks/check_bench.py`` — the ROADMAP perf-trajectory
+contract — as a pytest target so CI harnesses can gate on it without a
+bespoke script step.  The quick sweep keeps the gate to a few seconds;
+only configs present in both records are compared, so a full baseline
+and a quick fresh run compose correctly.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.bench_gate
+def test_no_production_timing_regressed():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "benchmarks" / "check_bench.py"),
+            "--quick",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"perf regression vs BENCH_hotpaths.json:\n{proc.stdout}\n{proc.stderr}"
+    )

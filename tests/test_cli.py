@@ -44,10 +44,12 @@ class TestPrune:
             "-G", "32", "--out", str(out_path),
         ])
         assert rc == 0
-        from repro.formats.io import load_tiled
+        import repro
 
-        tw = load_tiled(out_path)
-        assert tw.sparsity == pytest.approx(0.75, abs=0.03)
+        model = repro.load(out_path)
+        assert model.n_layers == 1
+        assert model.achieved_sparsity == pytest.approx(0.75, abs=0.03)
+        assert model.layers[0].tw.sparsity == pytest.approx(0.75, abs=0.03)
 
     def test_missing_file(self, tmp_path, capsys):
         rc = main(["prune", str(tmp_path / "nope.npy")])
@@ -101,6 +103,38 @@ class TestSweep:
         assert rc == 2
 
 
+class TestServe:
+    def test_single_device(self, capsys):
+        rc = main([
+            "serve", "bert", "--scale", "32", "--blocks", "1",
+            "--requests", "4", "--rows", "2", "-G", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rows/s" in out
+        assert "single x1" in out
+
+    def test_layer_sharded_devices(self, capsys):
+        rc = main([
+            "serve", "bert", "--scale", "32", "--blocks", "1",
+            "--requests", "4", "--rows", "2", "-G", "4",
+            "--devices", "2", "--placement", "layer_sharded",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "layer_sharded x2" in out
+
+    def test_single_with_many_devices_rejected(self, capsys):
+        rc = main([
+            "serve", "bert", "--devices", "2", "--placement", "single",
+        ])
+        assert rc == 2
+
+    def test_bad_sparsity(self, capsys):
+        rc = main(["serve", "bert", "--sparsity", "1.0"])
+        assert rc == 2
+
+
 class TestInfo:
     def test_dumps_device_and_calibration(self, capsys):
         rc = main(["info"])
@@ -108,3 +142,16 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "sm_count" in out
         assert "tw_masked_load_stall" in out
+        assert "patterns" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main(["info", "--json"])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["device"]["sm_count"] == 80
+        assert "tw" in record["registries"]["patterns"]
+        assert record["registries"]["engines"] == ["cuda_core", "tensor_core"]
+        assert "layer_sharded" in record["registries"]["placements"]
+        assert "tw_masked_load_stall" in record["calibration"]

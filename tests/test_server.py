@@ -87,9 +87,9 @@ class TestServing:
             # differs between the stacked wave and a lone request)
             np.testing.assert_allclose(s.output, want, rtol=0, atol=1e-10)
 
-    def test_max_batch_rows_splits_waves(self):
+    def test_max_wave_rows_splits_waves(self):
         rng = np.random.default_rng(5)
-        server = _server(rng, n_layers=1, max_batch_rows=8)
+        server = _server(rng, n_layers=1, max_wave_rows=8)
         for _ in range(5):
             server.submit(rng.standard_normal((4, 24)))
         served = server.flush()
@@ -99,7 +99,7 @@ class TestServing:
 
     def test_oversized_single_request_still_served(self):
         rng = np.random.default_rng(6)
-        server = _server(rng, n_layers=1, max_batch_rows=4)
+        server = _server(rng, n_layers=1, max_wave_rows=4)
         req = server.serve(rng.standard_normal((9, 24)))
         assert req.rows == 9
 
@@ -134,11 +134,174 @@ class TestServing:
             server.add_layer(*_pruned_layer(rng, 7, 7))  # does not chain
         with pytest.raises(ValueError):
             ServerConfig(granularity=0)
-        with pytest.raises(ValueError):
-            ServerConfig(max_batch_rows=0)
         with pytest.raises(TypeError):
             ServerConfig(dtype="not-a-dtype")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"granularity": 0},
+            {"granularity": -3},
+            {"granularity": 1.5},
+            {"max_wave_rows": 0},
+            {"max_wave_rows": -1},
+            {"max_wave_rows": 2.5},
+            {"queue_timeout_s": -0.1},
+            {"queue_timeout_s": float("nan")},
+            {"queue_timeout_s": float("inf")},
+        ],
+    )
+    def test_config_numeric_validation(self, kwargs):
+        # bad numerics must fail at construction with a clear ValueError,
+        # not deep inside _run_batch
+        with pytest.raises(ValueError):
+            ServerConfig(**kwargs)
+
+    def test_config_placement_type_checked(self):
+        with pytest.raises(TypeError):
+            ServerConfig(placement="layer_sharded")  # must be a Placement
+
+    def test_max_batch_rows_alias(self):
+        assert ServerConfig(max_wave_rows=17).max_batch_rows == 17
+        # the PR 2 constructor spelling keeps working
+        assert ServerConfig(max_batch_rows=17).max_wave_rows == 17
+        with pytest.raises(ValueError, match="conflicting"):
+            ServerConfig(max_wave_rows=5, max_batch_rows=9)
+        with pytest.raises(ValueError):
+            ServerConfig(max_batch_rows=0)
+
+    def test_deadline_misses_counted(self):
+        rng = np.random.default_rng(10)
+        server = _server(rng, n_layers=1, queue_timeout_s=1e-12)
+        server.serve(rng.standard_normal((2, 24)))
+        assert server.stats.deadline_misses == 1
 
     def test_flush_empty_queue(self):
         server = TWModelServer()
         assert server.flush() == []
+
+
+class TestFingerprint:
+    """Regression tests for weight_fingerprint collision classes."""
+
+    def test_transpose_differs(self):
+        rng = np.random.default_rng(11)
+        w = rng.standard_normal((4, 6))
+        ck = np.ones(6, dtype=bool)
+        assert weight_fingerprint(w, ck, []) != weight_fingerprint(
+            w.T, np.ones(4, dtype=bool), []
+        )
+
+    def test_same_bytes_different_shape_differs(self):
+        # a row vector and a column vector share their raw bytes
+        v = np.arange(8.0)
+        assert weight_fingerprint(v.reshape(1, 8), np.ones(8, bool), []) != (
+            weight_fingerprint(v.reshape(8, 1), np.ones(1, bool), [])
+        )
+
+    def test_mask_boundaries_delimited(self):
+        # two K-masks vs one 2K-mask concatenate to the same bytes; the
+        # delimited hash must still tell them apart
+        rng = np.random.default_rng(12)
+        w = rng.standard_normal((4, 4))
+        ck = np.ones(4, dtype=bool)
+        m = np.array([True, False, True, True])
+        fp_two = weight_fingerprint(w, ck, [m, m])
+        fp_one = weight_fingerprint(w, ck, [np.concatenate([m, m])])
+        assert fp_two != fp_one
+
+    def test_order_normalised(self):
+        # an F-order view and its C-order copy are the same logical matrix
+        rng = np.random.default_rng(13)
+        w = rng.standard_normal((6, 4))
+        ck = np.ones(4, dtype=bool)
+        f_order = np.asfortranarray(w)
+        assert weight_fingerprint(w, ck, []) == weight_fingerprint(f_order, ck, [])
+
+    def test_dtype_distinguished(self):
+        w = np.zeros((2, 2), dtype=np.float64)
+        ck = np.ones(2, dtype=bool)
+        assert weight_fingerprint(w, ck, []) != weight_fingerprint(
+            w.astype(np.float32), ck, []
+        )
+
+
+class TestPlacementServing:
+    def _chained(self, rng, n_layers=4, k=24, g=8):
+        layers = [_pruned_layer(rng, k, k, g=g) for _ in range(n_layers)]
+        return layers
+
+    def _build(self, layers, config):
+        server = TWModelServer(config)
+        for dense, ck, rm in layers:
+            server.add_layer(dense, ck, rm)
+        return server
+
+    def test_layer_sharded_matches_single(self):
+        from repro.gpu.device import T4, V100
+        from repro.runtime.placement import Placement
+
+        rng = np.random.default_rng(20)
+        layers = self._chained(rng)
+        reqs = [rng.standard_normal((3, 24)) for _ in range(4)]
+        single = self._build(layers, ServerConfig(granularity=8))
+        sharded = self._build(
+            layers,
+            ServerConfig(
+                granularity=8,
+                placement=Placement("layer_sharded", (V100, T4)),
+            ),
+        )
+        for r in reqs:
+            got = sharded.serve(r).output
+            want = single.serve(r).output
+            np.testing.assert_array_equal(got, want)  # bit-identical
+        assert set(sharded.shard_layout()) == {"Tesla V100-SXM2#0", "Tesla T4#1"}
+        assert set(sharded.stats.device_gemms) == {"Tesla V100-SXM2#0", "Tesla T4#1"}
+        assert sharded.stats.device_gemms["Tesla V100-SXM2#0"] == 8  # 2 layers x 4 waves
+        assert sharded.stats.critical_path_s() <= sharded.stats.busy_s
+
+    def test_replicated_round_robins_waves(self):
+        from repro.gpu.device import V100
+        from repro.runtime.placement import Placement
+
+        rng = np.random.default_rng(21)
+        layers = self._chained(rng, n_layers=2)
+        single = self._build(layers, ServerConfig(granularity=8))
+        repl = self._build(
+            layers,
+            ServerConfig(
+                granularity=8,
+                max_wave_rows=4,
+                placement=Placement("replicated", (V100, V100)),
+            ),
+        )
+        reqs = [rng.standard_normal((4, 24)) for _ in range(4)]
+        for r in reqs:
+            repl.submit(r)
+        served = repl.flush()
+        assert repl.stats.batches == 4  # 4-row cap -> one wave per request
+        for s, r in zip(served, reqs):
+            np.testing.assert_array_equal(s.output, single.serve(r).output)
+        # waves alternate across the two replicas of the same device type;
+        # slots keep them distinct in the stats
+        assert repl.stats.device_gemms["Tesla V100-SXM2#0"] == 4
+        assert repl.stats.device_gemms["Tesla V100-SXM2#1"] == 4
+
+    def test_warm_builds_all_shard_plans(self):
+        from repro.gpu.device import T4, V100
+        from repro.runtime.placement import Placement
+
+        rng = np.random.default_rng(22)
+        layers = self._chained(rng, n_layers=3)
+        server = self._build(
+            layers,
+            ServerConfig(
+                granularity=8,
+                placement=Placement("replicated", (V100, T4)),
+            ),
+        )
+        server.warm()
+        assert server.stats.plan_misses == 6  # 3 layers x 2 replica devices
+        server.serve(rng.standard_normal((2, 24)))
+        assert server.stats.plan_misses == 6  # serving replays the cache
