@@ -1,64 +1,61 @@
 #!/usr/bin/env python
 """Quickstart: tile-wise pruning of one weight matrix, end to end.
 
-Walks the library's core loop on a single GEMM:
+Walks the library's core loop on a single GEMM — through the one front
+door, ``repro.compile`` (the ROADMAP contract: no hand-wired
+``tw_prune_step → from_masks → build_execution_plan → tw_gemm`` chains at
+call sites):
 
-1. score a weight matrix (magnitude importance),
-2. run one global TW pruning step at 75 % sparsity,
-3. compact it into the TW execution format,
-4. verify the masked GEMM matches dense GEMM on the masked weights,
-5. price dense vs. TW execution on the simulated V100.
+1. compile a weight matrix at 75 % tile-wise sparsity (pruning, compact
+   TW format and execution plans all happen inside ``compile``),
+2. inspect what the pruner kept (``prune_report``),
+3. verify the compiled TW forward matches dense GEMM on the masked
+   weights — the paper's correctness claim,
+4. price dense vs. TW execution on the simulated V100 (``price``).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import TWPruneConfig, tw_prune_step
-from repro.core.importance import magnitude_score
-from repro.formats import TiledTWMatrix
-from repro.gpu import dense_gemm_tc_cost, tw_gemm_cost
-from repro.kernels import tw_gemm
+import repro
 
 # ----------------------------------------------------------------- #
-# 1-2. prune a 768x768 weight matrix to 75% tile-wise sparsity
+# 1. compile: prune -> compact TW format -> execution plan, one call
 # ----------------------------------------------------------------- #
 rng = np.random.default_rng(0)
 K, N, G = 768, 768, 128
 weight = rng.standard_normal((K, N))
 
-step = tw_prune_step(
-    [magnitude_score(weight)],
-    stage_sparsity=0.75,
-    config=TWPruneConfig(granularity=G),
-)
-print(f"target sparsity 0.75 -> achieved {step.achieved_sparsity:.3f}")
-print(f"columns kept: {int(step.col_keeps[0].sum())}/{N}")
+model = repro.compile(weight, pattern="tw", sparsity=0.75, granularity=G)
 
 # ----------------------------------------------------------------- #
-# 3. compact into the TW execution format
+# 2. what the pruner kept
 # ----------------------------------------------------------------- #
-tw = TiledTWMatrix.from_masks(weight, G, step.col_keeps[0], step.row_masks[0])
-print(f"tiles: {tw.n_tiles}, widths {tw.kept_widths().tolist()}, "
-      f"depths {tw.kept_depths().tolist()}")
+report = model.prune_report()
+layer = model.layers[0]
+print(f"target sparsity {report['target_sparsity']} -> "
+      f"achieved {report['achieved_sparsity']:.3f}")
+print(f"columns kept: {report['layers'][0]['kept_columns']}/{N}")
+print(f"tiles: {layer.tw.n_tiles}, widths {layer.tw.kept_widths().tolist()}, "
+      f"depths {layer.tw.kept_depths().tolist()}")
 
 # ----------------------------------------------------------------- #
-# 4. the correctness claim: TW GEMM == dense GEMM on masked weights
+# 3. the correctness claim: TW forward == dense GEMM on masked weights
 # ----------------------------------------------------------------- #
 M = 256
 activations = rng.standard_normal((M, K))
-sparse_out = tw_gemm(activations, tw)
-dense_out = activations @ (weight * step.masks[0])
+sparse_out = model.run(activations)
+dense_out = activations @ (weight * layer.mask)
 np.testing.assert_allclose(sparse_out, dense_out, atol=1e-10)
-print("tw_gemm matches dense GEMM on the masked weights: OK")
+print("model.run matches dense GEMM on the masked weights: OK")
 
 # ----------------------------------------------------------------- #
-# 5. price it on the simulated V100 tensor cores
+# 4. price it on the simulated V100 tensor cores
 # ----------------------------------------------------------------- #
 M_latency = 8192  # high-throughput inference, tokens in flight
-dense_cost = dense_gemm_tc_cost(M_latency, N, K)
-tw_cost = tw_gemm_cost(M_latency, tw)
-print(f"dense : {dense_cost.total_us:8.1f} us")
-print(f"TW    : {tw_cost.total_us:8.1f} us  "
-      f"-> {dense_cost.total_us / tw_cost.total_us:.2f}x speedup "
+price = model.price(m=M_latency)
+print(f"dense : {price.dense_gemm_us:8.1f} us")
+print(f"TW    : {price.sparse_gemm_us:8.1f} us  "
+      f"-> {price.gemm_speedup:.2f}x speedup "
       f"(paper: 2.26x at 75% with G=128)")

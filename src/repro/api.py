@@ -355,13 +355,26 @@ class CompiledTWModel:
                 a = a @ l.masked_dense()
         return a
 
-    def serve(self, config: ServerConfig | None = None) -> TWModelServer:
+    def serve(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        executor: str | None = None,
+        workers: int | None = None,
+        pace: float | None = None,
+    ) -> TWModelServer:
         """A :class:`TWModelServer` over this model, caches pre-seeded.
 
         With no ``config``, the server inherits the compiled granularity,
         payload dtype and placement.  The compiled formats and per-device
         plans are adopted into the server's caches (``preload``), so the
         first request is already warm whenever the config matches.
+
+        ``executor``/``workers``/``pace`` override the corresponding
+        :class:`ServerConfig` fields (with or without an explicit
+        ``config``): ``executor="threaded"`` overlaps the placement's
+        device slots in wall-time — outputs stay bit-identical to
+        ``inline`` — and ``pace`` turns on simulated-device pacing.
         """
         self._require_weights("serve")
         if any(l.tw is None for l in self.layers):
@@ -375,6 +388,15 @@ class CompiledTWModel:
                 dtype=str(self.dtype),
                 placement=self.placement,
             )
+        overrides = {
+            k: v
+            for k, v in (("executor", executor), ("workers", workers), ("pace", pace))
+            if v is not None
+        }
+        if overrides:
+            import dataclasses
+
+            config = dataclasses.replace(config, **overrides)
         server = TWModelServer(config)
         for i, l in enumerate(self.layers):
             server.add_layer(l.dense, l.col_keep, list(l.row_masks))

@@ -9,8 +9,9 @@ Usage (``python -m repro <command> ...``):
   simulated V100, GEMM-only and end-to-end;
 - ``sweep``   — print a speedup-vs-sparsity table for one pattern;
 - ``serve``   — stand up a :class:`~repro.runtime.server.TWModelServer`
-  over a demo weight stack, optionally sharded/replicated across devices,
-  and report throughput;
+  over a demo weight stack, optionally sharded/replicated across devices
+  (``--executor threaded`` overlaps the device slots in wall-time), and
+  report throughput plus measured parallel efficiency;
 - ``info``    — show the device spec, calibration constants and registry
   contents (``--json`` for machine-readable output).
 
@@ -30,6 +31,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.patterns.registry import available_engines, available_patterns
+from repro.runtime.executor import available_executors
 
 __all__ = ["main", "build_parser"]
 
@@ -86,6 +88,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--devices", type=int, default=1,
                          help="number of (simulated) devices")
     p_serve.add_argument("--placement", default="single", choices=_PLACEMENTS)
+    p_serve.add_argument("--executor", default="inline",
+                         choices=available_executors(),
+                         help="wave executor: inline (sequential oracle) or "
+                              "threaded (device slots overlap in wall-time)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker-thread cap for --executor threaded "
+                              "(default: one per device slot)")
+    p_serve.add_argument("--pace", type=float, default=0.0,
+                         help="simulated-device pacing scale: each GEMM "
+                              "occupies its slot for pace x the cost-model "
+                              "device time (0 = run flat out)")
     p_serve.add_argument("--scale", type=int, default=8,
                          help="shrink model dims by this factor (demo sizing)")
     p_serve.add_argument("--blocks", type=int, default=2,
@@ -224,6 +237,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.placement == "single" and args.devices != 1:
         print("error: 'single' placement takes exactly one device", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.pace < 0:
+        print("error: --pace must be >= 0", file=sys.stderr)
+        return 2
     from repro.gpu.device import V100
 
     placement = Placement(args.placement, (V100,) * args.devices)
@@ -239,7 +258,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         dtype=np.dtype(args.dtype),
         names=names,
     )
-    server = model.serve()
+    server = model.serve(
+        executor=args.executor, workers=args.workers,
+        pace=args.pace if args.pace > 0 else None,
+    )
     rng = np.random.default_rng(args.seed + 1)
     k = weights[0].shape[0]
     for _ in range(args.requests):
@@ -250,6 +272,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["model", f"{args.model} ({model.n_layers} layers, scale 1/{args.scale})"],
         ["achieved sparsity", model.achieved_sparsity],
         ["placement", f"{placement.kind} x{placement.n_devices}"],
+        ["executor", server.executor.describe()],
         ["shard layout", " ".join(
             f"{name}:{n}" for name, n in _shard_counts(server.shard_layout())
         )],
@@ -261,6 +284,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["mean latency", f"{st.mean_latency_s() * 1e3:.3f} ms"],
         ["busy (sum over devices)", f"{st.busy_s * 1e3:.3f} ms"],
         ["critical path (max device)", f"{st.critical_path_s() * 1e3:.3f} ms"],
+        ["wall time (measured)", f"{st.wall_time_s * 1e3:.3f} ms"],
+        ["measured speedup (busy/wall)", f"{st.measured_speedup():.2f}x"],
+        ["parallel efficiency", f"{st.parallel_efficiency():.2f}"],
     ]
     for name in sorted(st.device_gemms):
         rows.append([
@@ -284,6 +310,7 @@ def _info_record() -> dict:
     from repro.gpu.calibration import DEFAULT_CALIBRATION
     from repro.gpu.device import V100
     from repro.patterns.registry import available_engines, available_patterns
+    from repro.runtime.executor import EXECUTORS
     from repro.runtime.placement import PLACEMENTS
 
     return {
@@ -294,6 +321,7 @@ def _info_record() -> dict:
             "patterns": available_patterns(),
             "engines": available_engines(),
             "placements": PLACEMENTS.names(),
+            "executors": EXECUTORS.names(),
         },
     }
 

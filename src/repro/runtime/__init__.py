@@ -29,13 +29,25 @@ Modules
 - :mod:`repro.runtime.scheduler` — stream assignment + execution plans;
 - :mod:`repro.runtime.placement` — multi-device placement policies
   (``single`` / ``replicated`` / ``layer_sharded``);
+- :mod:`repro.runtime.executor` — pluggable wave executors
+  (``inline`` / ``threaded``): how the placement's device→work mapping
+  actually runs in wall-time (bit-identical outputs either way);
 - :mod:`repro.runtime.server` — :class:`TWModelServer`, the serving layer
   that caches formats/plans per weight fingerprint, micro-batches
   concurrent requests into one GEMM per layer, and dispatches waves
-  across a :class:`~repro.runtime.placement.Placement`'s devices.
+  across a :class:`~repro.runtime.placement.Placement`'s devices through
+  the configured :class:`~repro.runtime.executor.Executor`.
 """
 
 from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
+from repro.runtime.executor import (
+    EXECUTORS,
+    Executor,
+    InlineExecutor,
+    ThreadedExecutor,
+    available_executors,
+    resolve_executor,
+)
 from repro.runtime.layout import TransposePlan, transpose_cost
 from repro.runtime.batching import BatchGroup, batching_plan
 from repro.runtime.placement import PLACEMENTS, Placement, resolve_placement
@@ -57,6 +69,12 @@ __all__ = [
     "Placement",
     "PLACEMENTS",
     "resolve_placement",
+    "Executor",
+    "EXECUTORS",
+    "InlineExecutor",
+    "ThreadedExecutor",
+    "available_executors",
+    "resolve_executor",
     "InferenceEngine",
     "EngineConfig",
     "LayerPlan",

@@ -1,0 +1,397 @@
+"""Pluggable wave executors: how placed work actually runs (ISSUE 4).
+
+:class:`~repro.runtime.placement.Placement` decides *where* each layer of a
+micro-batch wave runs (the device→work mapping,
+:meth:`~repro.runtime.placement.Placement.wave_slots`); an :class:`Executor`
+decides *how* that mapping executes in wall-time:
+
+- ``inline``   — every wave's layers run sequentially on the calling
+  thread.  This is the historical server behaviour, kept as the
+  bit-identity oracle the concurrent executors are tested against.
+- ``threaded`` — one worker thread per device slot, with a bounded
+  in-flight wave window.  Waves bound for different slots (``replicated``)
+  run concurrently, and under ``layer_sharded`` successive waves *stream*
+  through the shard pipeline — wave ``i+1`` occupies shard 0 while wave
+  ``i`` runs on shard 1 — instead of marching lock-step.  NumPy GEMMs
+  release the GIL, so on a multi-core host the overlap is real compute
+  overlap; paced runs (see below) overlap their simulated device dwell on
+  any host.
+
+Executors are resolved through :data:`EXECUTORS` — the same
+:class:`~repro.patterns.registry.Registry` class as patterns, engines and
+placements — so a new execution strategy (process pool, async, remote) is
+a registry entry, not a new dispatch path in the server.
+
+Determinism contract
+--------------------
+Outputs are **bit-identical across executors**: each wave's layer chain is
+a fixed sequence of :func:`~repro.kernels.masked.tw_gemm` calls on the
+same operands and plans regardless of which thread runs them, and waves
+never share mutable state (the group-operand memos on frozen weights are
+value-deterministic, so racing builders write identical entries).  Only
+*wall-time* and the measured busy/dwell stats differ.
+
+Pacing (simulated device time)
+------------------------------
+Every :class:`WaveStep` may carry ``dwell_s``: a minimum wall-time the
+step occupies its device slot, derived by the server from the cost model's
+predicted device time (``tw_gemm_cost``).  The host GEMM computes the real
+(bit-exact) output; the slot then stays busy until the dwell elapses.
+Sleeping releases the GIL, so paced slots overlap in *measured* wall-time
+exactly as the simulated devices would — which is what turns the modeled
+``critical_path_s()`` bound into an observable quantity even on
+single-core CI hosts where concurrent compute cannot speed up.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.tiled import TiledTWMatrix
+from repro.kernels.masked import tw_gemm
+from repro.patterns.registry import Registry
+from repro.runtime.scheduler import ExecutionPlan
+
+__all__ = [
+    "EXECUTORS",
+    "Executor",
+    "InlineExecutor",
+    "ThreadedExecutor",
+    "WaveStep",
+    "WaveTask",
+    "WaveResult",
+    "available_executors",
+    "resolve_executor",
+]
+
+EXECUTORS = Registry("executor")
+
+
+@dataclass(frozen=True)
+class WaveStep:
+    """One layer of one wave, tagged with the device slot that runs it.
+
+    The placement emits the ``(layer, slot)`` mapping; the server resolves
+    the cached format/plan and the optional pacing dwell; the executor
+    only ever consumes these finished work items.
+    """
+
+    layer: int
+    tw: TiledTWMatrix
+    plan: ExecutionPlan
+    slot: int
+    label: str
+    #: minimum wall-time this step occupies its slot (0 = unpaced)
+    dwell_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class WaveTask:
+    """One micro-batch wave: stacked activations + its device-tagged steps."""
+
+    index: int
+    batch: np.ndarray
+    steps: tuple[WaveStep, ...]
+
+
+@dataclass
+class WaveResult:
+    """One executed wave: output + measured per-slot occupancy.
+
+    ``busy_by_label``/``gemms_by_label`` are keyed by the placement's slot
+    labels (``name#slot``); ``done_at`` is the ``perf_counter`` timestamp
+    the wave finished (request latency = ``done_at - submit time``).
+
+    ``error`` records a step failure instead of raising from the
+    executor: the caller (the server) can then account the work that
+    *did* complete — including this wave's pre-failure steps, whose
+    busy/gemm numbers are already merged in — before surfacing the error.
+    """
+
+    output: np.ndarray
+    busy_by_label: dict[str, float] = field(default_factory=dict)
+    gemms_by_label: dict[str, int] = field(default_factory=dict)
+    done_at: float = 0.0
+    error: BaseException | None = None
+
+
+def _execute_steps(a: np.ndarray, steps, result: WaveResult) -> np.ndarray:
+    """Run ``steps`` sequentially on ``a``, timing slot occupancy.
+
+    Shared by both executors so the math — and therefore the output bits —
+    cannot diverge between them.
+    """
+    for step in steps:
+        t0 = time.perf_counter()
+        a = tw_gemm(a, step.tw, plan=step.plan)
+        if step.dwell_s > 0.0:
+            remaining = step.dwell_s - (time.perf_counter() - t0)
+            if remaining > 0.0:
+                time.sleep(remaining)
+        dt = time.perf_counter() - t0
+        result.busy_by_label[step.label] = (
+            result.busy_by_label.get(step.label, 0.0) + dt
+        )
+        result.gemms_by_label[step.label] = (
+            result.gemms_by_label.get(step.label, 0) + 1
+        )
+    return a
+
+
+class Executor:
+    """Interface: run waves, return per-wave results in submission order.
+
+    ``tasks`` may be any iterable — executors pull from it *lazily*, so a
+    caller can materialise each wave's (potentially large) batch only
+    when the executor is ready to admit it.  A step failure is recorded
+    on its :attr:`WaveResult.error` (executors do not raise for it) and
+    stops further pulling, leaving the iterable's unconsumed tail
+    untouched for the caller to retry; the returned list covers exactly
+    the consumed prefix, so completed work is never lost to one bad wave.
+    """
+
+    name = "base"
+
+    def run(self, tasks) -> list[WaveResult]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner for CLI/stats reporting."""
+        return self.name
+
+
+class InlineExecutor(Executor):
+    """Sequential execution on the calling thread (the bit-identity oracle).
+
+    Exactly the pre-executor server behaviour: waves run one after
+    another, each wave's layers in order.  ``critical_path_s()`` remains a
+    *modeled* bound here — wall-time equals the summed busy time.
+    """
+
+    name = "inline"
+
+    def run(self, tasks) -> list[WaveResult]:
+        results = []
+        for task in tasks:  # lazy: one wave materialised at a time
+            result = WaveResult(output=task.batch)
+            results.append(result)
+            try:
+                result.output = _execute_steps(task.batch, task.steps, result)
+            except Exception as exc:
+                result.error = exc
+                result.done_at = time.perf_counter()
+                break  # stop pulling; the caller keeps the tail queued
+            result.done_at = time.perf_counter()
+        return results
+
+
+class ThreadedExecutor(Executor):
+    """One worker thread per device slot; waves pipeline through slots.
+
+    Each wave's steps are grouped into contiguous per-worker *segments*
+    (``layer_sharded`` → one segment per shard; ``replicated``/``single``
+    → one segment).  A wave enters the pipeline at its first segment's
+    worker; finishing a segment forwards the intermediate activations to
+    the next segment's queue.  The driver admits at most ``inflight``
+    waves at once (a bounded work-queue), so ``layer_sharded`` streams
+    successive waves through the shards — shard 0 starts wave ``i+1``
+    while shard 1 still runs wave ``i`` — without unbounded buffering.
+
+    Waves are pulled from the input iterable **lazily**: the driver
+    admits a wave only when the in-flight window has room, so a caller
+    feeding a generator keeps at most ``inflight`` materialised batches
+    alive at once, and when a wave errors the driver stops pulling — the
+    iterable's unconsumed tail is left for the caller (the server keeps
+    those requests queued for a retry flush).
+
+    Worker threads are **persistent** on the executor instance (daemon
+    threads, spawned on first use of a worker index and reused across
+    ``run`` calls), so a serving loop flushing per request does not pay
+    thread creation/teardown inside the wall-times it is measuring.
+
+    Parameters
+    ----------
+    workers:
+        Cap on worker threads.  ``None`` (default) = one per device slot
+        seen in the submitted waves (threads spawn on first use of a
+        slot).  Fewer workers than slots folds slots onto workers
+        round-robin (their work serialises).
+    inflight:
+        Bound on concurrently admitted waves (default ``2 ×`` the workers
+        active in the run): enough to keep every pipeline stage busy,
+        small enough to bound memory.
+    """
+
+    name = "threaded"
+
+    def __init__(self, workers: int | None = None, inflight: int | None = None):
+        if workers is not None and (not isinstance(workers, int) or workers < 1):
+            raise ValueError(f"workers must be a positive int or None, got {workers!r}")
+        if inflight is not None and (not isinstance(inflight, int) or inflight < 1):
+            raise ValueError(f"inflight must be a positive int or None, got {inflight!r}")
+        self.workers = workers
+        self.inflight = inflight
+        self._queues: list[queue.SimpleQueue] = []
+        self._threads: list[threading.Thread] = []
+        self._spawn_lock = threading.Lock()
+
+    def describe(self) -> str:
+        w = self.workers if self.workers is not None else "per-slot"
+        return f"threaded(workers={w})"
+
+    def _worker_loop(self, q: queue.SimpleQueue) -> None:
+        # stateless: every item carries its run's state, so one persistent
+        # thread serves any number of (even interleaved) run() calls
+        while True:
+            state, ti, seg_idx, a = q.get()
+            state.step(ti, seg_idx, a)
+
+    def _ensure_workers(self, n: int) -> None:
+        with self._spawn_lock:
+            while len(self._threads) < n:
+                q: queue.SimpleQueue = queue.SimpleQueue()
+                t = threading.Thread(
+                    target=self._worker_loop, args=(q,), daemon=True
+                )
+                self._queues.append(q)
+                self._threads.append(t)
+                t.start()
+
+    def run(self, tasks) -> list[WaveResult]:
+        state = _ThreadedRun(self)
+        worker_of: dict[int, int] = {}
+
+        def worker_for(slot: int) -> int:
+            hit = worker_of.get(slot)
+            if hit is not None:
+                return hit
+            idx = len(worker_of)
+            wi = idx if self.workers is None else idx % self.workers
+            self._ensure_workers(wi + 1)
+            worker_of[slot] = wi
+            return wi
+
+        for task in tasks:  # lazy: pulls the next wave only when admitted
+            if state.failed.is_set():
+                break  # leave the iterable's tail to the caller
+            segs: list[tuple[int, list[WaveStep]]] = []
+            for step in task.steps:
+                w = worker_for(step.slot)
+                if not segs or segs[-1][0] != w:
+                    segs.append((w, []))
+                segs[-1][1].append(step)
+            n_active = max(1, min(len(worker_of), self.workers or len(worker_of)))
+            state.admit(self.inflight or 2 * n_active)
+            state.launch(task, segs)
+        for ev in state.done:
+            ev.wait()
+        return state.results
+
+
+class _ThreadedRun:
+    """Per-``run`` state shared between the driver and the worker pool.
+
+    Driver-owned lists are append-only, and workers only index entries
+    appended before their queue item was put (the queue provides the
+    happens-before edge) — so no locking beyond the admission window.
+    """
+
+    def __init__(self, executor: ThreadedExecutor) -> None:
+        self.executor = executor
+        self.segments: list[list[tuple[int, list[WaveStep]]]] = []
+        self.results: list[WaveResult] = []
+        self.done: list[threading.Event] = []
+        self.failed = threading.Event()
+        self._window = threading.Condition()
+        self._in_flight = 0
+
+    def admit(self, limit: int) -> None:
+        """Block until the bounded in-flight wave window has room."""
+        with self._window:
+            while self._in_flight >= limit:
+                self._window.wait()
+            self._in_flight += 1
+
+    def launch(self, task: WaveTask, segs: list[tuple[int, list[WaveStep]]]) -> None:
+        ti = len(self.results)
+        self.segments.append(segs)
+        self.results.append(WaveResult(output=task.batch))
+        self.done.append(threading.Event())
+        if segs:
+            self.executor._queues[segs[0][0]].put((self, ti, 0, task.batch))
+        else:  # degenerate zero-layer wave: pass the batch through
+            self.finish(ti)
+
+    def step(self, ti: int, seg_idx: int, a) -> None:
+        """Execute one wave segment on a worker thread; forward or finish."""
+        _, steps = self.segments[ti][seg_idx]
+        try:
+            a = _execute_steps(a, steps, self.results[ti])
+        except Exception as exc:  # recorded; the caller decides to raise
+            self.results[ti].error = exc
+            self.finish(ti)
+            return
+        if seg_idx + 1 < len(self.segments[ti]):
+            nxt = self.segments[ti][seg_idx + 1][0]
+            self.executor._queues[nxt].put((self, ti, seg_idx + 1, a))
+        else:
+            self.results[ti].output = a
+            self.finish(ti)
+
+    def finish(self, ti: int) -> None:
+        if self.results[ti].error is not None:
+            self.failed.set()
+        self.results[ti].done_at = time.perf_counter()
+        self.done[ti].set()
+        with self._window:
+            self._in_flight -= 1
+            self._window.notify()
+
+
+EXECUTORS.register("inline", lambda **kw: InlineExecutor(), aliases=("serial",))
+EXECUTORS.register(
+    "threaded",
+    lambda workers=None, inflight=None, **kw: ThreadedExecutor(
+        workers=workers, inflight=inflight
+    ),
+    aliases=("threads",),
+)
+
+
+def available_executors() -> list[str]:
+    """Canonical executor names."""
+    return EXECUTORS.names()
+
+
+def resolve_executor(
+    executor: "Executor | str | None",
+    *,
+    workers: int | None = None,
+    inflight: int | None = None,
+) -> Executor:
+    """Normalise an ``executor=`` argument to a ready :class:`Executor`.
+
+    Accepts a ready instance (``workers``/``inflight`` must then be
+    ``None`` — they belong to the instance), a registry name, or ``None``
+    (inline).
+    """
+    if executor is None:
+        executor = "inline"
+    if isinstance(executor, Executor):
+        if workers is not None or inflight is not None:
+            raise ValueError(
+                "pass workers/inflight to the Executor constructor, "
+                "not alongside a ready instance"
+            )
+        return executor
+    if isinstance(executor, str):
+        return EXECUTORS.create(executor, workers=workers, inflight=inflight)
+    raise TypeError(
+        f"executor must be an Executor, name string or None, "
+        f"got {type(executor).__name__}"
+    )

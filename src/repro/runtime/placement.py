@@ -97,6 +97,20 @@ class Placement:
             return 0
         return wave_index % self.n_devices
 
+    def wave_slots(self, wave_index: int, n_layers: int) -> list[int]:
+        """Device slot executing each layer of micro-batch wave ``wave_index``.
+
+        This is the device→work mapping an
+        :class:`~repro.runtime.executor.Executor` consumes: ``replicated``
+        pins the whole wave to :meth:`replica_for_wave`'s slot, every other
+        kind follows the per-layer shard map.  The mapping is a pure
+        function of ``(wave_index, n_layers)`` — executors may reorder
+        *when* work runs, never *where*.
+        """
+        if self.kind == "replicated":
+            return [self.replica_for_wave(wave_index)] * n_layers
+        return self.layer_shards(n_layers)
+
     def device_labels(self) -> list[str]:
         """Unique per-slot labels (``name#slot``) for stats attribution.
 

@@ -24,8 +24,16 @@ GEMMs.  :class:`TWModelServer` operationalises that split:
   waves across full-model replicas, ``layer_sharded`` splits the layer
   stack so each wave flows shard to shard.  The plan cache is already
   device-keyed, so sharding composes with it rather than replacing it.
+- **Pluggable execution** (ISSUE 4): the placement emits a device→work
+  mapping (:meth:`~repro.runtime.placement.Placement.wave_slots`) and an
+  :class:`~repro.runtime.executor.Executor` — ``inline`` (the sequential
+  oracle) or ``threaded`` (one worker per device slot, bounded wave
+  pipeline) — decides how those device-tagged work items overlap in
+  wall-time.  Outputs are bit-identical across executors; only wall-time
+  and the measured occupancy stats change.
 - **Stats**: per-request latency, per-flush batch sizes, rows/s and
-  requests/s throughput, per-device busy time/GEMM counts, and
+  requests/s throughput, per-device busy time/GEMM counts, measured flush
+  wall-time (``wall_time_s`` / ``parallel_efficiency()``), and
   stream-imbalance diagnostics from the plans.
 
 Execution order inside a layer follows the cached plan's stream issue
@@ -36,6 +44,7 @@ what executes.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import time
 from collections import deque
 from dataclasses import InitVar, dataclass, field
@@ -44,7 +53,12 @@ import numpy as np
 
 from repro.formats.tiled import TiledTWMatrix
 from repro.gpu.device import DeviceSpec, V100
-from repro.kernels.masked import tw_gemm
+from repro.runtime.executor import (
+    EXECUTORS,
+    WaveStep,
+    WaveTask,
+    resolve_executor,
+)
 from repro.runtime.placement import Placement
 from repro.runtime.scheduler import ExecutionPlan, build_execution_plan
 
@@ -127,6 +141,22 @@ class ServerConfig:
         The single-device anchor (ignored when ``placement`` is given).
     placement:
         Multi-device policy; ``None`` means single-device on ``device``.
+    executor:
+        How placed waves execute in wall-time — an
+        :data:`~repro.runtime.executor.EXECUTORS` registry name
+        (``inline``/``threaded``).  ``inline`` is the sequential oracle;
+        ``threaded`` runs one worker per device slot so replicated waves
+        and layer-sharded pipeline stages genuinely overlap.  Outputs are
+        bit-identical either way.
+    workers:
+        Worker-thread cap for ``threaded`` (``None`` = one per device
+        slot); ignored by ``inline``.
+    pace:
+        Simulated-device pacing scale.  ``0`` (default) runs flat out;
+        ``> 0`` makes every GEMM occupy its device slot for at least
+        ``pace ×`` the cost model's predicted device time, so the
+        *measured* ``wall_time_s`` reflects the placement's overlap on any
+        host (sleeps release the GIL and overlap across slots).
     """
 
     granularity: int = 128
@@ -137,6 +167,9 @@ class ServerConfig:
     queue_timeout_s: float = 0.0
     device: DeviceSpec = V100
     placement: Placement | None = None
+    executor: str = "inline"
+    workers: int | None = None
+    pace: float = 0.0
     #: deprecated constructor alias for :attr:`max_wave_rows` (PR 2 name)
     max_batch_rows: InitVar[int | None] = None
 
@@ -164,6 +197,22 @@ class ServerConfig:
         if self.placement is not None and not isinstance(self.placement, Placement):
             raise TypeError(
                 f"placement must be a Placement or None, got {type(self.placement).__name__}"
+            )
+        if not isinstance(self.executor, str):
+            raise TypeError(
+                f"executor must be a registry name string, got "
+                f"{type(self.executor).__name__}"
+            )
+        object.__setattr__(self, "executor", EXECUTORS.canonical(self.executor))
+        if self.workers is not None and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            raise ValueError(
+                f"workers must be a positive int or None, got {self.workers!r}"
+            )
+        if not np.isfinite(self.pace) or self.pace < 0:
+            raise ValueError(
+                f"pace must be finite and non-negative, got {self.pace!r}"
             )
 
     def resolved_placement(self) -> Placement:
@@ -213,6 +262,10 @@ class ServerStats:
     plan_hits: int = 0
     plan_misses: int = 0
     busy_s: float = 0.0
+    #: measured wall-clock seconds spent inside executor runs (``flush``);
+    #: with a concurrent executor this is *less* than ``busy_s`` — the
+    #: difference is realised overlap, not modeled headroom
+    wall_time_s: float = 0.0
     latency_total_s: float = 0.0
     deadline_misses: int = 0
     latencies_s: deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
@@ -243,6 +296,28 @@ class ServerStats:
         """
         return max(self.device_busy_s.values(), default=0.0)
 
+    def measured_speedup(self) -> float:
+        """Measured wall-time speedup over serial execution.
+
+        ``busy_s / wall_time_s``: how much faster the executor ran the
+        work than executing every slot's occupancy back to back.  ``1.0``
+        for the ``inline`` executor (up to timing noise).
+        """
+        return self.busy_s / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def parallel_efficiency(self) -> float:
+        """Measured speedup as a fraction of the modeled headroom.
+
+        The modeled headroom is ``busy_s / critical_path_s()`` (perfect
+        overlap); the measured speedup is ``busy_s / wall_time_s``.  Their
+        ratio collapses to ``critical_path_s() / wall_time_s``: ``1.0``
+        means wall-time hit the modeled bound, ``~0.5`` means a 2-device
+        placement ran effectively serially (e.g. under ``inline``).
+        """
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.critical_path_s() / self.wall_time_s
+
 
 @dataclass(frozen=True)
 class _Layer:
@@ -267,10 +342,14 @@ class TWModelServer:
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
         self.placement = self.config.resolved_placement()
+        self.executor = resolve_executor(
+            self.config.executor, workers=self.config.workers
+        )
         self.stats = ServerStats()
         self._layers: list[_Layer] = []
         self._formats: dict[tuple, TiledTWMatrix] = {}
         self._plans: dict[tuple, ExecutionPlan] = {}
+        self._dwell: dict[tuple, float] = {}
         self._pending: deque[tuple[int, np.ndarray, float]] = deque()
         self._next_id = 0
         self._batch_id = 0
@@ -416,22 +495,92 @@ class TWModelServer:
         """Run every queued request as micro-batched GEMMs (one per layer).
 
         Waves larger than ``max_wave_rows`` split into successive
-        micro-batches; requests never split across waves.  Under a
-        ``replicated`` placement successive waves round-robin across the
-        device replicas; under ``layer_sharded`` every wave flows shard to
-        shard, each layer executing with its own device's cached plan.
+        micro-batches; requests never split across waves.  The placement
+        maps every wave's layers to device slots
+        (:meth:`~repro.runtime.placement.Placement.wave_slots`) and the
+        configured executor runs the whole wave list — sequentially under
+        ``inline``, overlapped across slots under ``threaded`` (replicated
+        waves run concurrently; ``layer_sharded`` waves stream through the
+        shard pipeline).  Outputs and their order are identical across
+        executors.
         """
-        served: list[ServedRequest] = []
-        while self._pending:
-            wave: list[tuple[int, np.ndarray, float]] = []
-            rows = 0
+        if not self._pending:
+            return []
+        # waves are built *lazily* as the executor admits them: requests
+        # leave the queue one wave at a time (bounded peak memory), and if
+        # execution fails the unconsumed tail stays queued for a retry.
+        # Caches are still resolved on the driver thread inside _wave_task,
+        # so busy_s times GEMM execution only and workers never race the
+        # cold construction path.
+        waves: list[list[tuple[int, np.ndarray, float]]] = []
+        wave_ids: list[int] = []
+
+        def task_stream():
             while self._pending:
-                r = self._pending[0][1].shape[0]
-                if wave and rows + r > self.config.max_wave_rows:
-                    break
-                wave.append(self._pending.popleft())
-                rows += r
-            served.extend(self._run_batch(wave))
+                wave: list[tuple[int, np.ndarray, float]] = []
+                rows = 0
+                while self._pending:
+                    r = self._pending[0][1].shape[0]
+                    if wave and rows + r > self.config.max_wave_rows:
+                        break
+                    wave.append(self._pending.popleft())
+                    rows += r
+                waves.append(wave)
+                task = self._wave_task(wave)
+                wave_ids.append(task.index)
+                yield task
+
+        # the first wave is built *outside* the timed region: it resolves
+        # every cold format/plan on the driver thread, so wall_time_s (and
+        # measured_speedup / parallel_efficiency) stays an execution
+        # measurement even on a cold server
+        stream = task_stream()
+        first = next(stream)
+        t0 = time.perf_counter()
+        results = self.executor.run(itertools.chain((first,), stream))
+        self.stats.wall_time_s += time.perf_counter() - t0
+        served: list[ServedRequest] = []
+        first_error: BaseException | None = None
+        for wave, batch_id, result in zip(waves, wave_ids, results):
+            # merge measured occupancy for all executed steps — including a
+            # failed wave's pre-failure work — so stats never lose busy time
+            for label, busy in result.busy_by_label.items():
+                self.stats.device_busy_s[label] = (
+                    self.stats.device_busy_s.get(label, 0.0) + busy
+                )
+                self.stats.busy_s += busy
+            for label, n in result.gemms_by_label.items():
+                self.stats.device_gemms[label] = (
+                    self.stats.device_gemms.get(label, 0) + n
+                )
+                self.stats.gemms += n
+            if result.error is not None:
+                if first_error is None:
+                    first_error = result.error
+                continue  # this wave's requests are lost; tail stays queued
+            self.stats.batches += 1
+            offset = 0
+            for rid, x, t_submit in wave:
+                r = x.shape[0]
+                latency = result.done_at - t_submit
+                self.stats.requests += 1
+                self.stats.rows += r
+                self.stats.latency_total_s += latency
+                self.stats.latencies_s.append(latency)
+                if self.config.queue_timeout_s and latency > self.config.queue_timeout_s:
+                    self.stats.deadline_misses += 1
+                served.append(
+                    ServedRequest(
+                        request_id=rid,
+                        output=result.output[offset : offset + r],
+                        rows=r,
+                        latency_s=latency,
+                        batch_id=batch_id,
+                    )
+                )
+                offset += r
+        if first_error is not None:
+            raise first_error
         return served
 
     def serve(self, x: np.ndarray) -> ServedRequest:
@@ -439,60 +588,51 @@ class TWModelServer:
         self.submit(x)
         return self.flush()[-1]
 
-    def _wave_devices(self, wave_index: int) -> list[int]:
-        """Placement device slot executing each layer for the given wave."""
-        n = self.n_layers
-        if self.placement.kind == "replicated":
-            return [self.placement.replica_for_wave(wave_index)] * n
-        return self.placement.layer_shards(n)
-
-    def _run_batch(self, wave: list[tuple[int, np.ndarray, float]]) -> list[ServedRequest]:
+    def _wave_task(self, wave: list[tuple[int, np.ndarray, float]]) -> WaveTask:
+        """Resolve one wave into device-tagged, plan-carrying work items."""
         dtype = np.dtype(self.config.dtype)
         batch = np.concatenate([x for _, x, _ in wave], axis=0)
-        slots = self._wave_devices(self._batch_id)
+        slots = self.placement.wave_slots(self._batch_id, self.n_layers)
         labels = self.placement.device_labels()
-        # resolve caches first: busy_s times GEMM execution only, so the
-        # cold construction path never inflates throughput numbers
-        resolved = []
-        for layer, slot in zip(self._layers, slots):
+        steps = []
+        for li, (layer, slot) in enumerate(zip(self._layers, slots)):
             tw = self._format_for(layer)
-            plan = self._plan_for(layer, tw, self.placement.devices[slot])
-            resolved.append((tw, plan, labels[slot]))
-        a = batch.astype(dtype, copy=False)
-        t0 = time.perf_counter()
-        t_prev = t0
-        for tw, plan, label in resolved:
-            a = tw_gemm(a, tw, plan=plan)
-            t_now = time.perf_counter()
-            self.stats.gemms += 1
-            self.stats.device_gemms[label] = self.stats.device_gemms.get(label, 0) + 1
-            self.stats.device_busy_s[label] = (
-                self.stats.device_busy_s.get(label, 0.0) + (t_now - t_prev)
-            )
-            t_prev = t_now
-        done = time.perf_counter()
-        self.stats.busy_s += done - t0
-        self.stats.batches += 1
-        self._batch_id += 1
-        out: list[ServedRequest] = []
-        offset = 0
-        for rid, x, t_submit in wave:
-            r = x.shape[0]
-            latency = done - t_submit
-            self.stats.requests += 1
-            self.stats.rows += r
-            self.stats.latency_total_s += latency
-            self.stats.latencies_s.append(latency)
-            if self.config.queue_timeout_s and latency > self.config.queue_timeout_s:
-                self.stats.deadline_misses += 1
-            out.append(
-                ServedRequest(
-                    request_id=rid,
-                    output=a[offset : offset + r],
-                    rows=r,
-                    latency_s=latency,
-                    batch_id=self._batch_id - 1,
+            device = self.placement.devices[slot]
+            plan = self._plan_for(layer, tw, device)
+            steps.append(
+                WaveStep(
+                    layer=li,
+                    tw=tw,
+                    plan=plan,
+                    slot=slot,
+                    label=labels[slot],
+                    dwell_s=self._dwell_for(layer, tw, device, batch.shape[0]),
                 )
             )
-            offset += r
-        return out
+        task = WaveTask(
+            index=self._batch_id,
+            batch=batch.astype(dtype, copy=False),
+            steps=tuple(steps),
+        )
+        self._batch_id += 1
+        return task
+
+    def _dwell_for(
+        self, layer: _Layer, tw: TiledTWMatrix, device: DeviceSpec, m: int
+    ) -> float:
+        """Paced slot occupancy for one GEMM (0.0 when pacing is off).
+
+        ``pace ×`` the cost model's predicted device time for this layer's
+        TW GEMM at ``m`` activation rows, memoised per (layer, device, m)
+        so the cost model prices each configuration once.
+        """
+        if self.config.pace <= 0.0:
+            return 0.0
+        key = (self._format_key(layer), device, m)
+        hit = self._dwell.get(key)
+        if hit is None:
+            from repro.gpu.tw_kernel import tw_gemm_cost
+
+            hit = tw_gemm_cost(m, tw, device).total_us * 1e-6 * self.config.pace
+            self._dwell[key] = hit
+        return hit

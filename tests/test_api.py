@@ -227,6 +227,29 @@ class TestPlacement:
         assert server.stats.plan_misses == 0
         np.testing.assert_array_equal(out, model.run(x))
 
+    def test_serve_executor_knobs(self, stack):
+        from repro.runtime.executor import ThreadedExecutor
+        from repro.runtime.server import ServerConfig
+
+        weights, x = stack
+        model = repro.compile(
+            weights, sparsity=0.5, granularity=8,
+            placement=Placement("layer_sharded", (V100, T4)),
+        )
+        server = model.serve(executor="threaded", workers=2)
+        assert isinstance(server.executor, ThreadedExecutor)
+        assert server.executor.workers == 2
+        # the threaded path still pre-seeds and stays bit-identical
+        out = server.serve(x).output
+        assert server.stats.format_misses == 0
+        np.testing.assert_array_equal(out, model.run(x))
+        # knobs also override an explicit config
+        cfg = ServerConfig(granularity=8, dtype=str(model.dtype),
+                           placement=model.placement)
+        server2 = model.serve(cfg, executor="threaded", pace=0.0)
+        assert server2.config.executor == "threaded"
+        assert server2.config.granularity == 8
+
 
 class TestPrice:
     def test_weight_stack_pricing_uses_real_geometry(self, stack):

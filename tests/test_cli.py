@@ -124,6 +124,29 @@ class TestServe:
         out = capsys.readouterr().out
         assert "layer_sharded x2" in out
 
+    def test_threaded_executor(self, capsys):
+        rc = main([
+            "serve", "bert", "--scale", "32", "--blocks", "1",
+            "--requests", "4", "--rows", "2", "-G", "4",
+            "--devices", "2", "--placement", "replicated",
+            "--executor", "threaded",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "threaded" in out
+        assert "wall time (measured)" in out
+        assert "parallel efficiency" in out
+
+    def test_bad_workers_rejected(self, capsys):
+        rc = main([
+            "serve", "bert", "--executor", "threaded", "--workers", "0",
+        ])
+        assert rc == 2
+
+    def test_bad_pace_rejected(self, capsys):
+        rc = main(["serve", "bert", "--pace", "-1"])
+        assert rc == 2
+
     def test_single_with_many_devices_rejected(self, capsys):
         rc = main([
             "serve", "bert", "--devices", "2", "--placement", "single",
@@ -154,4 +177,5 @@ class TestInfo:
         assert "tw" in record["registries"]["patterns"]
         assert record["registries"]["engines"] == ["cuda_core", "tensor_core"]
         assert "layer_sharded" in record["registries"]["placements"]
+        assert record["registries"]["executors"] == ["inline", "threaded"]
         assert "tw_masked_load_stall" in record["calibration"]

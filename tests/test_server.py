@@ -6,7 +6,7 @@ import pytest
 from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
 from repro.kernels.masked import tw_gemm_reference
 from repro.formats.tiled import TiledTWMatrix
-from repro.runtime import ServerConfig, TWModelServer, weight_fingerprint
+from repro.runtime import ServerConfig, ServerStats, TWModelServer, weight_fingerprint
 
 
 def _pruned_layer(rng, k, n, sparsity=0.5, g=8):
@@ -153,13 +153,48 @@ class TestServing:
     )
     def test_config_numeric_validation(self, kwargs):
         # bad numerics must fail at construction with a clear ValueError,
-        # not deep inside _run_batch
+        # not deep inside the wave execution path
         with pytest.raises(ValueError):
             ServerConfig(**kwargs)
 
     def test_config_placement_type_checked(self):
         with pytest.raises(TypeError):
             ServerConfig(placement="layer_sharded")  # must be a Placement
+
+    def test_config_executor_validated(self):
+        assert ServerConfig(executor="threads").executor == "threaded"  # alias
+        with pytest.raises(KeyError):
+            ServerConfig(executor="gpu")
+        with pytest.raises(TypeError):
+            ServerConfig(executor=42)
+        with pytest.raises(ValueError):
+            ServerConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServerConfig(pace=-1.0)
+        with pytest.raises(ValueError):
+            ServerConfig(pace=float("nan"))
+
+    def test_wall_time_and_parallel_efficiency_tracked(self):
+        rng = np.random.default_rng(30)
+        server = _server(rng)
+        server.serve(rng.standard_normal((2, 24)))
+        st = server.stats
+        assert st.wall_time_s > 0
+        assert st.measured_speedup() > 0
+        assert 0 < st.parallel_efficiency() <= 1.5  # inline ~= serial
+        assert ServerStats().parallel_efficiency() == 0.0
+        assert ServerStats().measured_speedup() == 0.0
+
+    def test_paced_serving_floors_busy_time(self):
+        rng = np.random.default_rng(31)
+        server = _server(rng, n_layers=1, pace=200.0)
+        server.serve(rng.standard_normal((2, 24)))
+        # dwell = pace x modeled us; even a tiny layer models >= ~10us, so
+        # paced busy time must clear an unpaced run by orders of magnitude
+        assert server.stats.busy_s >= 200.0 * 10e-6
+        unpaced = _server(np.random.default_rng(31), n_layers=1)
+        out = unpaced.serve(rng.standard_normal((2, 24)))
+        assert out is not None  # pace=0 default stays the fast path
 
     def test_max_batch_rows_alias(self):
         assert ServerConfig(max_wave_rows=17).max_batch_rows == 17
@@ -288,6 +323,14 @@ class TestPlacementServing:
         assert repl.stats.device_gemms["Tesla V100-SXM2#0"] == 4
         assert repl.stats.device_gemms["Tesla V100-SXM2#1"] == 4
 
+    def test_executor_resolved_from_config(self):
+        from repro.runtime.executor import InlineExecutor, ThreadedExecutor
+
+        assert isinstance(TWModelServer().executor, InlineExecutor)
+        threaded = TWModelServer(ServerConfig(executor="threaded", workers=3))
+        assert isinstance(threaded.executor, ThreadedExecutor)
+        assert threaded.executor.workers == 3
+
     def test_warm_builds_all_shard_plans(self):
         from repro.gpu.device import T4, V100
         from repro.runtime.placement import Placement
@@ -305,3 +348,191 @@ class TestPlacementServing:
         assert server.stats.plan_misses == 6  # 3 layers x 2 replica devices
         server.serve(rng.standard_normal((2, 24)))
         assert server.stats.plan_misses == 6  # serving replays the cache
+
+
+class TestExecutorInvariance:
+    """The ISSUE 4 contract: ``threaded`` is bit-identical to ``inline``
+    for every placement, including the degenerate shapes — and the wave →
+    device round-robin is deterministic across executors."""
+
+    def _chained(self, rng, n_layers, k=24, g=8):
+        return [_pruned_layer(rng, k, k, g=g) for _ in range(n_layers)]
+
+    def _serve_all(self, layers, reqs, **cfg_kw):
+        server = TWModelServer(ServerConfig(granularity=8, **cfg_kw))
+        for dense, ck, rm in layers:
+            server.add_layer(dense, ck, rm)
+        for r in reqs:
+            server.submit(r)
+        return server, server.flush()
+
+    def _assert_executors_agree(self, layers, reqs, **cfg_kw):
+        inline_server, inline_out = self._serve_all(layers, reqs, **cfg_kw)
+        threaded_server, threaded_out = self._serve_all(
+            layers, reqs, executor="threaded", **cfg_kw
+        )
+        assert [s.request_id for s in threaded_out] == [
+            s.request_id for s in inline_out
+        ]
+        for got, want in zip(threaded_out, inline_out):
+            np.testing.assert_array_equal(got.output, want.output)  # bit-identical
+            assert got.batch_id == want.batch_id
+        # wave -> device round-robin determinism: identical work placement
+        assert threaded_server.stats.device_gemms == inline_server.stats.device_gemms
+        assert threaded_server.stats.gemms == inline_server.stats.gemms
+        return inline_server, threaded_server
+
+    def test_single_device(self):
+        rng = np.random.default_rng(40)
+        layers = self._chained(rng, 3)
+        reqs = [rng.standard_normal((3, 24)) for _ in range(4)]
+        self._assert_executors_agree(layers, reqs)
+
+    def test_layer_sharded_two_devices(self):
+        from repro.gpu.device import T4, V100
+        from repro.runtime.placement import Placement
+
+        rng = np.random.default_rng(41)
+        layers = self._chained(rng, 4)
+        reqs = [rng.standard_normal((2, 24)) for _ in range(5)]
+        self._assert_executors_agree(
+            layers, reqs,
+            max_wave_rows=4,
+            placement=Placement("layer_sharded", (V100, T4)),
+        )
+
+    def test_layer_sharded_more_devices_than_layers(self):
+        from repro.gpu.device import V100
+        from repro.runtime.placement import Placement
+
+        rng = np.random.default_rng(42)
+        layers = self._chained(rng, 2)  # 2 layers over 4 devices
+        reqs = [rng.standard_normal((2, 24)) for _ in range(3)]
+        inline_server, _ = self._assert_executors_agree(
+            layers, reqs,
+            placement=Placement("layer_sharded", (V100,) * 4),
+        )
+        # only the first two slots ever receive work
+        assert set(inline_server.stats.device_gemms) == {
+            "Tesla V100-SXM2#0", "Tesla V100-SXM2#1",
+        }
+
+    def test_single_device_replicated(self):
+        from repro.gpu.device import V100
+        from repro.runtime.placement import Placement
+
+        rng = np.random.default_rng(43)
+        layers = self._chained(rng, 2)
+        reqs = [rng.standard_normal((2, 24)) for _ in range(4)]
+        inline_server, _ = self._assert_executors_agree(
+            layers, reqs,
+            max_wave_rows=2,
+            placement=Placement("replicated", (V100,)),
+        )
+        # one replica: every wave lands on slot 0
+        assert set(inline_server.stats.device_gemms) == {"Tesla V100-SXM2#0"}
+
+    def test_replicated_wave_round_robin_determinism(self):
+        from repro.gpu.device import V100
+        from repro.runtime.placement import Placement
+
+        rng = np.random.default_rng(44)
+        layers = self._chained(rng, 2)
+        reqs = [rng.standard_normal((2, 24)) for _ in range(6)]
+        inline_server, threaded_server = self._assert_executors_agree(
+            layers, reqs,
+            max_wave_rows=2,  # one wave per request -> 6 waves, 3 per slot
+            placement=Placement("replicated", (V100, V100)),
+        )
+        for server in (inline_server, threaded_server):
+            assert server.stats.device_gemms == {
+                "Tesla V100-SXM2#0": 6, "Tesla V100-SXM2#1": 6,
+            }
+
+    def test_threaded_respects_worker_cap(self):
+        from repro.gpu.device import V100
+        from repro.runtime.placement import Placement
+
+        rng = np.random.default_rng(45)
+        layers = self._chained(rng, 4)
+        reqs = [rng.standard_normal((2, 24)) for _ in range(4)]
+        self._assert_executors_agree(
+            layers, reqs,
+            workers=1,  # folds both shards onto one worker; results identical
+            placement=Placement("layer_sharded", (V100, V100)),
+        )
+
+    def test_failed_wave_leaves_tail_queued_inline(self):
+        """A wave that errors mid-flush must not swallow the queue: the
+        executor pulls waves lazily, so unconsumed requests survive for a
+        retry flush (inline pulls one at a time -> deterministic tail)."""
+        rng = np.random.default_rng(47)
+        layers = self._chained(rng, 1)
+        server = TWModelServer(ServerConfig(granularity=8, max_wave_rows=2))
+        for dense, ck, rm in layers:
+            server.add_layer(dense, ck, rm)
+        good_before = rng.standard_normal((2, 24))
+        good_after = rng.standard_normal((2, 24))
+        server.submit(good_before)
+        # a poison wave: bypass submit()'s K check so tw_gemm raises
+        server._pending.append((99, rng.standard_normal((2, 7)), 0.0))
+        server.submit(good_after)
+        with pytest.raises(ValueError):
+            server.flush()
+        # the wave after the poison one was never pulled: still queued
+        assert len(server._pending) == 1
+        # the completed wave's work is accounted even though flush raised
+        assert server.stats.batches == 1
+        assert server.stats.requests == 1
+        assert server.stats.gemms >= 1
+        assert server.stats.wall_time_s > 0
+        (req,) = server.flush()
+        solo = TWModelServer(ServerConfig(granularity=8))
+        for dense, ck, rm in layers:
+            solo.add_layer(dense, ck, rm)
+        np.testing.assert_array_equal(req.output, solo.serve(good_after).output)
+
+    def test_failed_wave_keeps_threaded_server_usable(self):
+        rng = np.random.default_rng(48)
+        layers = self._chained(rng, 1)
+        server = TWModelServer(ServerConfig(
+            granularity=8, max_wave_rows=2, executor="threaded",
+        ))
+        for dense, ck, rm in layers:
+            server.add_layer(dense, ck, rm)
+        server._pending.append((99, rng.standard_normal((2, 7)), 0.0))
+        with pytest.raises(ValueError):
+            server.flush()
+        out = server.serve(rng.standard_normal((2, 24)))
+        assert out.rows == 2  # the server survives a poisoned flush
+
+    def test_mid_stream_submissions_keep_round_robin_phase(self):
+        """Waves keep their global index across flushes: a threaded server
+        flushed twice must place work exactly like an inline one."""
+        from repro.gpu.device import V100
+        from repro.runtime.placement import Placement
+
+        rng = np.random.default_rng(46)
+        layers = self._chained(rng, 2)
+        reqs = [rng.standard_normal((2, 24)) for _ in range(5)]
+
+        outs = {}
+        for executor in ("inline", "threaded"):
+            server = TWModelServer(ServerConfig(
+                granularity=8, executor=executor, max_wave_rows=2,
+                placement=Placement("replicated", (V100, V100)),
+            ))
+            for dense, ck, rm in layers:
+                server.add_layer(dense, ck, rm)
+            served = []
+            for i, r in enumerate(reqs):
+                server.submit(r)
+                if i % 2 == 1:
+                    served.extend(server.flush())
+            served.extend(server.flush())
+            outs[executor] = (served, dict(server.stats.device_gemms))
+        inline_served, inline_gemms = outs["inline"]
+        threaded_served, threaded_gemms = outs["threaded"]
+        assert threaded_gemms == inline_gemms
+        for got, want in zip(threaded_served, inline_served):
+            np.testing.assert_array_equal(got.output, want.output)
