@@ -1,19 +1,17 @@
 #!/usr/bin/env python
 """Prune a trained MiniBERT with every pattern and compare (paper Fig. 12a).
 
-Trains the MNLI-like classifier once, then prunes it to 75 % sparsity with
-EW / VW / BW / TW / TEW (each with the multi-stage algorithm + per-stage
-fine-tuning) and reports accuracy alongside the simulated BERT-base GEMM
-speedup of each pattern.
+Trains the MNLI-like classifier once, then tunes it to 75 % sparsity with
+EW / VW / BW / TW / TEW through the training-time front door
+(``repro.tune``: gradual schedule → importance scoring → prune → optional
+TEW overlay → per-stage fine-tuning) and reports accuracy alongside the
+simulated BERT-base GEMM speedup of each pattern.
 
 Run:  python examples/bert_pruning.py
 """
 
-from repro.experiments import (
-    gemm_speedup,
-    prepare_task,
-    prune_and_evaluate,
-)
+import repro
+from repro.experiments import gemm_speedup, prepare_task
 
 SPARSITY = 0.75
 PATTERNS = ("ew", "vw", "bw", "tw", "tew")
@@ -24,13 +22,23 @@ print(f"dense accuracy: {bundle.baseline_metric:.3f}\n")
 
 print(f"{'pattern':8s} {'accuracy':>9s} {'drop':>7s} {'sim speedup':>12s}  (vs its dense baseline)")
 for pattern in PATTERNS:
-    acc = prune_and_evaluate(bundle, pattern, SPARSITY, granularity=16)
+    bundle.restore()
+    result = repro.tune(
+        bundle.adapter(),
+        pattern=pattern,
+        sparsity=SPARSITY,
+        granularity=16,
+        schedule="gradual",
+        n_stages=2,
+        importance="taylor",
+        evaluate=bundle.evaluate,
+    )
     speedup = gemm_speedup(
         "bert", pattern, SPARSITY,
         granularity=128, tew_delta=0.05 if pattern == "tew" else 0.0,
     )
-    drop = bundle.baseline_metric - acc
-    print(f"{pattern.upper():8s} {acc:9.3f} {drop:+7.3f} {speedup:11.2f}x")
+    drop = bundle.baseline_metric - result.metric
+    print(f"{pattern.upper():8s} {result.metric:9.3f} {drop:+7.3f} {speedup:11.2f}x")
 
 print(
     "\nExpected shape (paper Fig. 12a + Fig. 14): EW/TEW hold accuracy best,"

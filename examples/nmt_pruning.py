@@ -2,15 +2,19 @@
 """Prune the attention NMT model and track BLEU (paper Fig. 12d).
 
 Trains the MiniNMT encoder-decoder on the synthetic translation task, then
-sweeps TW sparsity and reports BLEU after prune + fine-tune at each level —
-the paper's observation is that NMT tolerates moderate sparsity but drops
-quickly past ~60 % (it "prefers irregular sparsities").
+sweeps TW sparsity through the training-time front door (``repro.tune``)
+and reports BLEU after each gradual prune + fine-tune session — the
+paper's observation is that NMT tolerates moderate sparsity but drops
+quickly past ~60 % (it "prefers irregular sparsities").  The last sweep
+point also prints its per-stage trajectory, the ``TuneResult`` view of the
+schedule at work.
 
 Run:  python examples/nmt_pruning.py
 """
 
+import repro
 from repro.analysis import ascii_series, format_table
-from repro.experiments import gemm_speedup, prepare_task, prune_and_evaluate
+from repro.experiments import gemm_speedup, prepare_task
 
 SPARSITIES = (0.25, 0.5, 0.6, 0.75)
 
@@ -20,15 +24,35 @@ print(f"dense BLEU: {bundle.baseline_metric:.1f}\n")
 
 rows = []
 bleus = []
+result = None
 for s in SPARSITIES:
-    bleu = prune_and_evaluate(bundle, "tw", s, granularity=16)
+    bundle.restore()
+    result = repro.tune(
+        bundle.adapter(),
+        pattern="tw",
+        sparsity=s,
+        granularity=16,
+        schedule="gradual",
+        n_stages=2,
+        importance="taylor",
+        evaluate=bundle.evaluate,
+    )
     speedup = gemm_speedup("nmt", "tw", s, granularity=128)
-    rows.append([f"{s:.0%}", bleu, bundle.baseline_metric - bleu, speedup])
-    bleus.append(bleu)
+    rows.append([f"{s:.0%}", result.metric, bundle.baseline_metric - result.metric, speedup])
+    bleus.append(result.metric)
 
 print(format_table(["sparsity", "BLEU", "drop", "sim speedup (x)"], rows, precision=2))
 print()
 print(ascii_series(list(SPARSITIES), bleus, label="BLEU vs sparsity"))
+print(f"\ntrajectory of the {SPARSITIES[-1]:.0%} session (gradual cubic schedule):")
+print(format_table(
+    ["stage", "target", "achieved", "BLEU"],
+    [
+        [t["stage"], t["target_sparsity"], t["achieved_sparsity"], t["metric"]]
+        for t in result.trajectory()
+    ],
+    precision=3,
+))
 print(
     "\nExpected shape (paper Fig. 12d): BLEU holds to ~50-60% sparsity,"
     "\nthen falls off; simulated speedup grows with sparsity throughout."

@@ -26,16 +26,27 @@ Multi-device placement (the serving scale-out axis)::
         weights, placement=Placement("layer_sharded", (V100, V100)))
     server = sharded.serve()              # waves flow shard to shard
 
-Patterns (``tw ew vw bw nm``), engines (``tensor_core cuda_core``) and
-placements (``single replicated layer_sharded``) are string-registry
-entries — see :mod:`repro.patterns.registry` and
-:mod:`repro.runtime.placement`.  The pieces the facade composes remain
+Training-time pruning (the paper's accuracy procedure) has its own front
+door, terminating in the same compiled artifact::
+
+    result = repro.tune(adapter, pattern="tw", sparsity=0.75,
+                        schedule="gradual", n_stages=4, tew=0.05)
+    result.trajectory()                   # per-stage sparsity / metric
+    server = result.compiled.serve()      # tune → compile → serve
+
+Patterns (``tw ew vw bw nm``), engines (``tensor_core cuda_core``),
+placements (``single replicated layer_sharded``), schedules
+(``gradual oneshot``) and importance metrics (``taylor magnitude``) are
+string-registry entries — see :mod:`repro.patterns.registry`,
+:mod:`repro.runtime.placement`, :mod:`repro.core.schedule` and
+:mod:`repro.core.importance`.  The pieces the facade composes remain
 importable for research use: :mod:`repro.core` (Algorithm 1),
 :mod:`repro.formats` (compact layouts), :mod:`repro.kernels` (functional
 GEMMs), :mod:`repro.gpu` (cost models), :mod:`repro.runtime` (plans +
 serving), :mod:`repro.experiments` (accuracy/latency pipelines).
 
-The CLI mirrors the facade: ``python -m repro {prune,latency,sweep,serve,info}``.
+The CLI mirrors the facade:
+``python -m repro {prune,tune,latency,sweep,serve,info}``.
 """
 
 __version__ = "0.3.0"
@@ -44,10 +55,13 @@ __version__ = "0.3.0"
 #: ``import repro`` free of numpy-heavy imports until an attribute is used
 _EXPORTS = {
     "compile": "repro.api",
+    "tune": "repro.api",
     "load": "repro.api",
     "CompiledTWModel": "repro.api",
     "CompiledLayer": "repro.api",
     "PriceReport": "repro.api",
+    "TuneResult": "repro.api",
+    "TuneStage": "repro.api",
     "Placement": "repro.runtime.placement",
     "TWModelServer": "repro.runtime.server",
     "ServerConfig": "repro.runtime.server",

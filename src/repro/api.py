@@ -1,4 +1,4 @@
-"""One front door for the paper's pipeline: :func:`compile`.
+"""One front door for the paper's pipeline: :func:`compile` and :func:`tune`.
 
 The reproduction's contribution is a *pipeline* — tile-wise prune → compact
 TW format → batching/stream plan → batched GEMM execution — and this module
@@ -17,12 +17,27 @@ every call site, callers write::
     model.save("model.npz")   # offline artifact (repro.load round-trips)
     server = model.serve()    # warm TWModelServer, caches pre-seeded
 
-Patterns (``tw``, ``ew``, ``vw``, ``bw``, ``nm``) and engines
-(``tensor_core``, ``cuda_core``) are resolved through the string registries
-in :mod:`repro.patterns.registry`; multi-device placement (``single``,
+:func:`compile` one-shot-prunes *frozen* weights.  The paper's headline
+accuracy numbers come from the **training-time** procedure instead —
+gradual sparsity targets, per-stage importance re-scoring, mask-constrained
+fine-tuning, and optionally the TEW element-wise overlay — and
+:func:`tune` is its front door::
+
+    result = repro.tune(adapter, pattern="tw", sparsity=0.75,
+                        schedule="gradual", n_stages=4,
+                        importance="taylor", tew=0.05)
+    result.trajectory()       # per-stage sparsity / metric history
+    y = result.run(x)         # TW GEMM (+ CSC residual pass for TEW)
+    result.compiled.serve()   # same CompiledTWModel artifact as compile()
+
+Patterns (``tw``, ``ew``, ``vw``, ``bw``, ``nm``), engines
+(``tensor_core``, ``cuda_core``), schedules (``gradual``, ``oneshot``) and
+importance metrics (``taylor``, ``magnitude``) are resolved through string
+registries (:mod:`repro.patterns.registry`, :mod:`repro.core.schedule`,
+:mod:`repro.core.importance`); multi-device placement (``single``,
 ``replicated``, ``layer_sharded``) through
-:mod:`repro.runtime.placement` — every new pattern/engine/placement is a
-registry entry, not a new code path.
+:mod:`repro.runtime.placement` — every new entry is a registry
+registration, not a new code path.
 
 Two compilation sources:
 
@@ -36,18 +51,25 @@ Two compilation sources:
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.importance import magnitude_score
-from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
+from repro.core.apriori import AprioriConfig
+from repro.core.importance import ImportanceConfig, magnitude_score, resolve_importance
+from repro.core.masks import overall_sparsity
+from repro.core.pruner import ArrayModel, PrunableModel, TWPruner, stage_scores
+from repro.core.schedule import GradualSchedule, resolve_schedule
+from repro.core.tew import TEWConfig, TEWSolution, tew_overlay
+from repro.core.tile_sparsity import TWPruneConfig, TWStepResult, tw_prune_step
+from repro.formats.csc import CSCMatrix
 from repro.formats.tiled import TiledTWMatrix
 from repro.gpu.device import DeviceSpec
 from repro.gpu.tw_kernel import TWShapeStats
 from repro.kernels.masked import tw_gemm
+from repro.kernels.spmm import csc_left_spmm
 from repro.models.registry import GemmShape
 from repro.patterns.registry import PATTERNS, make_pattern, resolve_engine
 from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
@@ -57,10 +79,13 @@ from repro.runtime.server import ServerConfig, TWModelServer, weight_fingerprint
 
 __all__ = [
     "compile",
+    "tune",
     "load",
     "CompiledTWModel",
     "CompiledLayer",
     "PriceReport",
+    "TuneResult",
+    "TuneStage",
     "demo_layer_stack",
 ]
 
@@ -496,6 +521,42 @@ def _build_plans(
     return {d: build_execution_plan(tw, d) for d in devices}
 
 
+def _tw_layer(
+    w: np.ndarray,
+    name: str,
+    cfg: TWPruneConfig,
+    col_keep: np.ndarray,
+    row_masks: list[np.ndarray],
+    mask: np.ndarray,
+    placement: Placement,
+    index: int,
+    n_layers: int,
+    dtype,
+) -> CompiledLayer:
+    """One fully-compiled TW layer from a weight matrix and its prune masks.
+
+    The single construction path shared by :func:`compile` and
+    :func:`tune` — both therefore execute the identical
+    ``from_masks → build_execution_plan → tw_gemm`` chain, which is what
+    makes their bit-identity contracts structural rather than incidental.
+    """
+    tw = TiledTWMatrix.from_masks(
+        w, cfg.granularity, col_keep, row_masks,
+        reorganize=cfg.reorganize, dtype=dtype,
+    )
+    return CompiledLayer(
+        name=name,
+        shape=tw.shape,
+        dense=w,
+        mask=mask,
+        col_keep=col_keep,
+        row_masks=tuple(row_masks),
+        tw=tw,
+        plans=_build_plans(tw, placement, index, n_layers),
+        fingerprint=weight_fingerprint(w, col_keep, row_masks),
+    )
+
+
 def _normalize_weights(
     model_or_weights, names: Sequence[str] | None
 ) -> tuple[list[np.ndarray], list[str]]:
@@ -605,23 +666,10 @@ def compile(
         granularity = cfg.granularity
         step = tw_prune_step(score_mats, sparsity, cfg)
         for i, w in enumerate(weights):
-            tw = TiledTWMatrix.from_masks(
-                w, cfg.granularity, step.col_keeps[i], step.row_masks[i],
-                reorganize=cfg.reorganize, dtype=dtype,
-            )
             layers.append(
-                CompiledLayer(
-                    name=layer_names[i],
-                    shape=tw.shape,
-                    dense=w,
-                    mask=step.masks[i],
-                    col_keep=step.col_keeps[i],
-                    row_masks=tuple(step.row_masks[i]),
-                    tw=tw,
-                    plans=_build_plans(tw, placement, i, n),
-                    fingerprint=weight_fingerprint(
-                        w, step.col_keeps[i], step.row_masks[i]
-                    ),
+                _tw_layer(
+                    w, layer_names[i], cfg, step.col_keeps[i],
+                    step.row_masks[i], step.masks[i], placement, i, n, dtype,
                 )
             )
         achieved = step.achieved_sparsity
@@ -689,6 +737,425 @@ def _compile_named(
         placement=placement,
         achieved_sparsity=sparsity,
         model_name=model,
+    )
+
+
+@dataclass(frozen=True)
+class TuneStage:
+    """One prune(+fine-tune) stage of a tuning session.
+
+    ``kind`` is ``"prune"`` for the schedule's stages and ``"overlay"`` for
+    the final TEW restore+fine-tune pass; ``metric`` is populated only when
+    :func:`tune` was given an ``evaluate=`` callback.
+    """
+
+    index: int
+    kind: str
+    target_sparsity: float
+    achieved_sparsity: float
+    metric: float | None = None
+
+
+@dataclass
+class TuneResult:
+    """Everything a tuning session produced — trajectory, masks, artifact.
+
+    ``compiled`` is the same :class:`CompiledTWModel` artifact
+    :func:`compile` returns (built from the *fine-tuned* weights and the
+    final stage's masks), so the whole downstream surface —
+    ``prune_report()``, ``price()``, ``run()``, ``save()``, ``serve()`` —
+    applies unchanged.  For TEW sessions ``compiled`` holds the pure-TW
+    part (at the overshoot sparsity ``α + δ``) and ``residuals`` the
+    restored elements' *final trained values* in CSC form; :meth:`run`
+    executes the paper's two-pass decomposition
+    ``A · B_TEW = A · B_TW + A · B_residual``.
+    """
+
+    compiled: CompiledTWModel
+    pattern: str
+    sparsity: float
+    granularity: int
+    schedule: GradualSchedule
+    importance: ImportanceConfig
+    history: list[TuneStage]
+    masks: list[np.ndarray]
+    tew: TEWSolution | None = None
+    residuals: list[CSCMatrix] | None = None
+
+    @property
+    def achieved_sparsity(self) -> float:
+        """Overall sparsity of the effective keep masks (TW ∪ EW for TEW)."""
+        return overall_sparsity(self.masks)
+
+    @property
+    def n_stages(self) -> int:
+        """Stages actually run (schedule stages + the TEW overlay pass)."""
+        return len(self.history)
+
+    @property
+    def metric(self) -> float | None:
+        """Final ``evaluate()`` reading, or ``None`` when no callback ran."""
+        return self.history[-1].metric if self.history else None
+
+    def trajectory(self) -> list[dict]:
+        """The per-stage sparsity/metric history as plain records.
+
+        JSON-ready (the CLI prints it verbatim under ``--json``); one row
+        per stage in execution order.
+        """
+        return [
+            {
+                "stage": s.index,
+                "kind": s.kind,
+                "target_sparsity": s.target_sparsity,
+                "achieved_sparsity": round(s.achieved_sparsity, 6),
+                "metric": s.metric,
+            }
+            for s in self.history
+        ]
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Forward ``x`` through the tuned model.
+
+        Plain sessions delegate to ``compiled.run`` (bit-identical to the
+        hand-wired ``TWPruner``/mask-rule chain); TEW sessions add the
+        CSC residual pass per layer, exploiting linearity exactly as the
+        paper's CUDA-core overlay kernel does (§IV-A).
+        """
+        if self.residuals is None:
+            return self.compiled.run(x)
+        a = np.atleast_2d(np.asarray(x))
+        n = self.compiled.n_layers
+        for i, l in enumerate(self.compiled.layers):
+            device = self.compiled.placement.device_for_layer(i, n)
+            a = tw_gemm(a, l.tw, plan=l.plans.get(device)) + csc_left_spmm(
+                a, self.residuals[i]
+            )
+        return a
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the tuned model via :meth:`CompiledTWModel.save`.
+
+        TW sessions round-trip through ``repro.load`` bit-exactly.  TEW
+        sessions refuse (the residual has no ``.npz`` layout yet) rather
+        than silently dropping the restored elements; ``result.compiled``
+        remains saveable as the pure-TW part if that is what you want.
+        """
+        if self.residuals is not None:
+            raise ValueError(
+                "TEW tuning results do not serialize: the EW residual has "
+                "no .npz layout yet — result.compiled.save() stores the "
+                "pure-TW part alone if that is acceptable"
+            )
+        return self.compiled.save(path)
+
+
+def _as_prunable(model_or_adapter, *, data, train) -> PrunableModel:
+    """Normalise any accepted tuning source to a :class:`PrunableModel`.
+
+    Accepts a ready adapter (``TrainedModelAdapter``, ``ArrayModel``, or
+    anything satisfying the protocol), an ``repro.nn`` module plus
+    ``data=``, or raw weight matrices.  Enforces the fine-tuning contract:
+    a ``train=`` override is only accepted where real training state
+    exists, never silently dropped.
+    """
+    m = model_or_adapter
+    if hasattr(m, "prunable_weights") and hasattr(m, "loss"):
+        from repro.nn.trainer import TrainConfig, TrainedModelAdapter
+
+        if data is None:
+            raise ValueError(
+                "tuning an repro.nn module needs training data: pass "
+                "data=<ClassificationSplit> and tune() will build a "
+                "TrainedModelAdapter over model.prunable_weights() / "
+                "model.loss, or construct the adapter yourself"
+            )
+        return TrainedModelAdapter(
+            m.prunable_weights(), m.loss, data, train or TrainConfig(epochs=1)
+        )
+    if isinstance(m, PrunableModel):
+        if data is not None:
+            raise ValueError(
+                "data= only applies when tuning an repro.nn module; this "
+                "adapter already owns its training data"
+            )
+        if train is not None:
+            setter = getattr(m, "set_finetune_config", None)
+            if setter is None:
+                hint = (
+                    "ArrayModel wraps raw weight stacks whose fine_tune() "
+                    "is a documented no-op — drop train= or wrap real "
+                    "training state in repro.nn.trainer.TrainedModelAdapter"
+                    if isinstance(m, ArrayModel)
+                    else f"{type(m).__name__} exposes no "
+                    "set_finetune_config(TrainConfig)"
+                )
+                raise ValueError(f"train= override rejected: {hint}")
+            setter(train)
+        return m
+    weights, _ = _normalize_weights(m, None)
+    if train is not None or data is not None:
+        raise ValueError(
+            "raw weight stacks cannot be fine-tuned: tune() wraps them in "
+            "ArrayModel, whose fine_tune() is a documented no-op — drop "
+            "train=/data= or adapt real training state via "
+            "repro.nn.trainer.TrainedModelAdapter"
+        )
+    return ArrayModel(weights)
+
+
+def tune(
+    model_or_adapter,
+    *,
+    pattern: str = "tw",
+    sparsity: float = 0.75,
+    granularity: int = 128,
+    schedule: GradualSchedule | str | None = "gradual",
+    n_stages: int | None = None,
+    law: str | None = None,
+    importance: ImportanceConfig | str | None = "taylor",
+    tew: TEWConfig | float | None = None,
+    apriori: AprioriConfig | bool = True,
+    train=None,
+    data=None,
+    evaluate: Callable[[], float] | None = None,
+    engine: str = "tensor_core",
+    placement: Placement | str | None = None,
+    devices: Sequence[DeviceSpec] | None = None,
+    dtype: np.dtype | type | None = np.float64,
+    prune_config: TWPruneConfig | None = None,
+    pattern_kwargs: dict | None = None,
+    names: Sequence[str] | None = None,
+) -> TuneResult:
+    """Run the paper's *training-time* pipeline; returns a :class:`TuneResult`.
+
+    Drives Algorithm 1's loop — schedule stage → importance scoring → prune
+    → (optional TEW overlay) → mask-constrained fine-tune — and terminates
+    in the same :class:`CompiledTWModel` artifact :func:`compile` produces,
+    so ``tune(...).compiled.run()`` is bit-identical to the equivalent
+    hand-wired ``TWPruner``/``GradualSchedule`` chain (``tests/test_api.py``
+    pins this, mirroring the ``compile`` contract).
+
+    Parameters
+    ----------
+    model_or_adapter:
+        A :class:`~repro.core.pruner.PrunableModel` adapter
+        (:class:`~repro.nn.trainer.TrainedModelAdapter` for real training
+        state, :class:`~repro.core.pruner.ArrayModel` for frozen arrays),
+        an ``repro.nn`` module (pass ``data=`` too), or raw 2-D weight
+        matrices (wrapped in ``ArrayModel``; no fine-tuning).
+    pattern:
+        Registry name.  ``tw`` runs Algorithm 1; ``tew`` is sugar for
+        ``tw`` plus a default TEW overlay; the mask-rule baselines
+        (``ew``/``vw``/``bw``/``nm``) run the same stage loop with their
+        own prune rule (the paper's §VII-A comparison methodology).
+    sparsity:
+        Final overall target ``S``; ignored when ``schedule`` is an
+        explicit :class:`GradualSchedule` instance (its ``target`` wins).
+    schedule:
+        Registry name (``gradual``, ``oneshot``) or instance;
+        ``n_stages``/``law`` feed the registry factory when given.
+    importance:
+        Registry name (``taylor``, ``magnitude``) or
+        :class:`ImportanceConfig`.  Taylor degrades to magnitude for
+        models without gradients rather than failing.
+    tew:
+        ``None`` (no overlay), a δ fraction, or a full
+        :class:`TEWConfig`.  The prune schedule then overshoots to
+        ``min(S + δ, 0.99)`` and the best δ of *pruned* elements are
+        restored at their trained values before a final fine-tune (§IV-A).
+    apriori:
+        ``True`` (default) injects Algorithm 2's EW-informed prior into
+        every TW stage; ``False`` disables; an :class:`AprioriConfig`
+        customises.  Ignored by the baseline patterns.
+    train:
+        Per-stage fine-tuning override (``TrainConfig``); only accepted
+        where real training state exists.  ``epochs=0`` is well-defined:
+        prune-only stages.
+    data:
+        Training split used to build the adapter when an ``repro.nn``
+        module is passed directly.
+    evaluate:
+        Optional zero-argument metric callback (e.g.
+        ``bundle.evaluate``); called after every stage to populate the
+        trajectory.  Must not perturb training state.
+    engine / placement / devices / dtype / names:
+        Forwarded to the compilation step (same semantics as
+        :func:`compile`).
+    prune_config:
+        Full :class:`TWPruneConfig` override (TW only; ``granularity`` is
+        ignored when given).
+    pattern_kwargs:
+        Extra registry-factory arguments for baseline patterns
+        (``vector_size``, ``block_shape``, ``n``/``m``).
+    """
+    import dataclasses
+
+    placement = resolve_placement(placement, devices)
+    engine = resolve_engine(engine)
+
+    tew_cfg: TEWConfig | None
+    if isinstance(tew, TEWConfig):
+        tew_cfg = tew
+    elif tew is not None:
+        tew_cfg = TEWConfig(delta=float(tew))
+    else:
+        tew_cfg = None
+    if pattern == "tew":
+        pattern = "tw"
+        if tew_cfg is None:
+            tew_cfg = TEWConfig()
+    elif pattern == "dense":
+        raise ValueError(
+            "nothing to tune for the dense baseline — "
+            "repro.compile(..., pattern='dense') prices and executes it "
+            "directly"
+        )
+    else:
+        pattern = PATTERNS.canonical(pattern)
+    if tew_cfg is not None and pattern != "tw":
+        raise ValueError(
+            f"the TEW overlay composes with the tw pattern only, "
+            f"got pattern={pattern!r}"
+        )
+
+    imp_cfg = resolve_importance(importance)
+    sched = resolve_schedule(schedule, target=sparsity, n_stages=n_stages, law=law)
+    sparsity = sched.target
+    model = _as_prunable(model_or_adapter, data=data, train=train)
+
+    history: list[TuneStage] = []
+
+    def _record(kind: str, target: float, achieved: float) -> None:
+        history.append(
+            TuneStage(
+                index=len(history),
+                kind=kind,
+                target_sparsity=target,
+                achieved_sparsity=achieved,
+                metric=evaluate() if evaluate is not None else None,
+            )
+        )
+
+    tew_sol: TEWSolution | None = None
+    residuals: list[CSCMatrix] | None = None
+    if pattern == "tw":
+        cfg = prune_config or TWPruneConfig(granularity=granularity)
+        granularity = cfg.granularity
+        if apriori is True:
+            apriori_cfg: AprioriConfig | None = AprioriConfig()
+        elif isinstance(apriori, AprioriConfig):
+            apriori_cfg = apriori
+        else:
+            apriori_cfg = None
+
+        prune_sched = sched
+        snapshot: list[np.ndarray] | None = None
+        dense_scores: list[np.ndarray] | None = None
+        if tew_cfg is not None:
+            # TW to S + δ, then restore the best δ fraction (§IV-A).
+            # Restore candidates rank by the *dense* model's importance,
+            # captured before pruning — pruned weights score zero after.
+            overshoot = min(sparsity + tew_cfg.delta, 0.99)
+            prune_sched = dataclasses.replace(sched, target=overshoot)
+            snapshot = [w.copy() for w in model.weight_matrices()]
+            dense_scores = stage_scores(model, imp_cfg)
+
+        pruner = TWPruner(cfg, prune_sched, imp_cfg, apriori_cfg)
+        step: TWStepResult | None = None
+        for target, step in pruner.prune_stages(model):
+            _record("prune", target, step.achieved_sparsity)
+        assert step is not None, "schedule produced no stages"
+        masks = [np.asarray(m, dtype=bool) for m in step.masks]
+        achieved = step.achieved_sparsity
+
+        if tew_cfg is not None:
+            tew_sol = tew_overlay(snapshot, dense_scores, step.masks, tew_cfg)
+            # write the restored elements' trained values back before
+            # masking — the overlay *revives* weights, it does not merely
+            # unmask zeros (weight_matrices() returns live views)
+            for w, saved, ew in zip(
+                model.weight_matrices(), snapshot, tew_sol.ew_masks
+            ):
+                w[ew] = saved[ew]
+            model.apply_masks(tew_sol.masks)
+            model.fine_tune()
+            masks = tew_sol.masks
+            achieved = tew_sol.overall_sparsity
+            _record("overlay", sparsity, achieved)
+
+        final_weights = [np.array(w) for w in model.weight_matrices()]
+        _, layer_names = _normalize_weights(final_weights, names)
+        n = len(final_weights)
+        layers = [
+            _tw_layer(
+                w, layer_names[i], cfg, step.col_keeps[i],
+                step.row_masks[i], step.masks[i], placement, i, n, dtype,
+            )
+            for i, w in enumerate(final_weights)
+        ]
+        compiled = CompiledTWModel(
+            layers,
+            pattern="tw",
+            sparsity=prune_sched.target,
+            granularity=granularity,
+            engine=engine,
+            placement=placement,
+            achieved_sparsity=step.achieved_sparsity,
+        )
+        if tew_sol is not None:
+            residuals = [
+                CSCMatrix.from_dense(np.where(ew, w, 0.0))
+                for w, ew in zip(final_weights, tew_sol.ew_masks)
+            ]
+            # the overlay solution was built from the pre-fine-tune snapshot;
+            # refresh its execution payload to the final trained values so
+            # result.tew.residuals and result.residuals agree (the masks are
+            # unchanged by fine-tuning, only the restored values moved)
+            tew_sol.residuals = residuals
+    else:
+        # baseline mask rules through the shared stage loop (§VII-A: every
+        # pattern is compared under the same multi-stage methodology)
+        pat = make_pattern(pattern, granularity=granularity, **(pattern_kwargs or {}))
+        result = None
+        for target in sched.stages():
+            scores = stage_scores(model, imp_cfg)
+            result = pat.prune(scores, target)
+            model.apply_masks(result.masks)
+            model.fine_tune()
+            _record("prune", target, result.achieved_sparsity)
+        assert result is not None, "schedule produced no stages"
+        masks = [np.asarray(m, dtype=bool) for m in result.masks]
+        achieved = result.achieved_sparsity
+        final_weights = [np.array(w) for w in model.weight_matrices()]
+        _, layer_names = _normalize_weights(final_weights, names)
+        layers = [
+            CompiledLayer(
+                name=layer_names[i], shape=w.shape, dense=w, mask=masks[i]
+            )
+            for i, w in enumerate(final_weights)
+        ]
+        compiled = CompiledTWModel(
+            layers,
+            pattern=pattern,
+            sparsity=sparsity,
+            granularity=granularity,
+            engine=engine,
+            placement=placement,
+            achieved_sparsity=achieved,
+        )
+
+    return TuneResult(
+        compiled=compiled,
+        pattern="tew" if tew_cfg is not None else pattern,
+        sparsity=sparsity,
+        granularity=granularity,
+        schedule=sched,
+        importance=imp_cfg,
+        history=history,
+        masks=masks,
+        tew=tew_sol,
+        residuals=residuals,
     )
 
 

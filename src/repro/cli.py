@@ -5,6 +5,10 @@ Usage (``python -m repro <command> ...``):
 - ``prune``   — tile-wise-prune a weight matrix (``.npy``) and save the
   compiled TW model (``.npz``, read back by ``repro.load``) plus sparsity
   statistics;
+- ``tune``    — train one of the paper's Mini* tasks dense, then run the
+  training-time pipeline (``repro.tune``: gradual schedule → importance →
+  prune → optional TEW overlay → fine-tune) and print the per-stage
+  sparsity/metric trajectory;
 - ``latency`` — price a (model, pattern, sparsity) combination on the
   simulated V100, GEMM-only and end-to-end;
 - ``sweep``   — print a speedup-vs-sparsity table for one pattern;
@@ -15,11 +19,11 @@ Usage (``python -m repro <command> ...``):
 - ``info``    — show the device spec, calibration constants and registry
   contents (``--json`` for machine-readable output).
 
-Every command resolves patterns/engines/placements through the string
-registries and drives the pipeline exclusively via
-``repro.compile(...)`` — there is no hand-wired plan construction here.
-Commands print human-readable tables (or JSON) and exit non-zero on
-invalid input, so the CLI is scriptable.
+Every command resolves patterns/engines/placements/schedules/importance
+metrics through the string registries and drives the pipeline exclusively
+via ``repro.compile(...)`` / ``repro.tune(...)`` — there is no hand-wired
+plan or pruner construction here.  Commands print human-readable tables
+(or JSON) and exit non-zero on invalid input, so the CLI is scriptable.
 """
 
 from __future__ import annotations
@@ -30,6 +34,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.importance import available_importance
+from repro.core.schedule import available_schedules
 from repro.patterns.registry import available_engines, available_patterns
 from repro.runtime.executor import available_executors
 
@@ -37,7 +43,11 @@ __all__ = ["main", "build_parser"]
 
 _PRICE_PATTERNS = sorted(set(available_patterns()) | {"dense", "tew"})
 _SWEEP_PATTERNS = sorted(set(available_patterns()) | {"tew"})
+_TUNE_PATTERNS = sorted(set(available_patterns()) | {"tew"})
 _PLACEMENTS = ("single", "replicated", "layer_sharded")
+#: mirrors repro.experiments.accuracy.TASKS without importing the (heavy)
+#: experiment module at parser-build time; test_cli pins the equality
+_TASKS = ("mnli", "squad", "vgg", "nmt")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +69,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--split", type=float, default=0.5,
         help="column/row budget split (0=rows only, 1=columns only)",
     )
+
+    p_tune = sub.add_parser(
+        "tune", help="gradual prune + fine-tune a Mini* task via repro.tune"
+    )
+    p_tune.add_argument("task", choices=_TASKS)
+    p_tune.add_argument("--pattern", default="tw", choices=_TUNE_PATTERNS)
+    p_tune.add_argument("--sparsity", type=float, default=0.75)
+    p_tune.add_argument("--granularity", "-G", type=int, default=16,
+                        help="TW tile width (Mini* models are small; "
+                             "16 matches the paper-scale examples)")
+    p_tune.add_argument("--schedule", default="gradual",
+                        choices=available_schedules())
+    p_tune.add_argument("--stages", type=int, default=None,
+                        help="prune+fine-tune stages (default: 2 for "
+                             "gradual; oneshot is single-stage by "
+                             "definition)")
+    p_tune.add_argument("--law", default=None,
+                        choices=["linear", "cubic", "geometric"],
+                        help="sparsity increase law (schedule default: cubic)")
+    p_tune.add_argument("--importance", default="taylor",
+                        choices=available_importance())
+    p_tune.add_argument("--tew-delta", type=float, default=0.05,
+                        help="EW restore fraction when --pattern tew")
+    p_tune.add_argument("--no-apriori", action="store_true",
+                        help="disable Algorithm 2's EW-informed prior")
+    p_tune.add_argument("--train-samples", type=int, default=256,
+                        help="dense-training set size (smaller = faster)")
+    p_tune.add_argument("--finetune-epochs", type=int, default=None,
+                        help="override per-stage fine-tuning epochs "
+                             "(0 = prune-only stages)")
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--out",
+                        help="save the tuned compiled model here (.npz; "
+                             "TW sessions only)")
+    p_tune.add_argument("--json", action="store_true",
+                        help="machine-readable trajectory output")
 
     p_lat = sub.add_parser("latency", help="price a model on the simulated V100")
     p_lat.add_argument("model", choices=["bert", "vgg", "nmt"])
@@ -157,6 +203,101 @@ def _cmd_prune(args: argparse.Namespace) -> int:
     if args.out:
         model.save(args.out)
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import repro
+    from repro.analysis import format_table
+
+    if not (0.0 <= args.sparsity < 1.0):
+        print("error: --sparsity must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.granularity < 1:
+        print("error: --granularity must be >= 1", file=sys.stderr)
+        return 2
+    if args.stages is not None and args.stages < 1:
+        print("error: --stages must be >= 1", file=sys.stderr)
+        return 2
+    if args.schedule == "oneshot" and (
+        args.stages not in (None, 1) or args.law is not None
+    ):
+        print("error: the oneshot schedule is single-stage by definition; "
+              "drop --stages/--law or use --schedule gradual", file=sys.stderr)
+        return 2
+    if args.train_samples < 1:
+        print("error: --train-samples must be >= 1", file=sys.stderr)
+        return 2
+    if args.finetune_epochs is not None and args.finetune_epochs < 0:
+        print("error: --finetune-epochs must be >= 0", file=sys.stderr)
+        return 2
+    if not (0.0 <= args.tew_delta < 1.0):
+        print("error: --tew-delta must be in [0, 1)", file=sys.stderr)
+        return 2
+    import dataclasses
+
+    from repro.experiments.accuracy import prepare_task
+
+    if not args.json:
+        print(f"training dense {args.task} baseline "
+              f"({args.train_samples} samples) ...")
+    bundle = prepare_task(args.task, seed=args.seed,
+                          train_samples=args.train_samples)
+    train = None
+    if args.finetune_epochs is not None:
+        train = dataclasses.replace(bundle.finetune, epochs=args.finetune_epochs)
+    # historical default: the accuracy experiments run 2 gradual stages;
+    # oneshot passes None through so its factory pins n_stages=1
+    stages = args.stages
+    if stages is None and args.schedule == "gradual":
+        stages = 2
+    result = repro.tune(
+        bundle.adapter(),
+        pattern=args.pattern,
+        sparsity=args.sparsity,
+        granularity=args.granularity,
+        schedule=args.schedule,
+        n_stages=stages,
+        law=args.law,
+        importance=args.importance,
+        tew=args.tew_delta if args.pattern == "tew" else None,
+        apriori=not args.no_apriori,
+        train=train,
+        evaluate=bundle.evaluate,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "task": args.task,
+            "pattern": result.pattern,
+            "metric_name": bundle.metric_name,
+            "baseline_metric": bundle.baseline_metric,
+            "final_metric": result.metric,
+            "achieved_sparsity": result.achieved_sparsity,
+            "trajectory": result.trajectory(),
+        }, indent=1))
+    else:
+        print(format_table(
+            ["stage", "kind", "target", "achieved", bundle.metric_name],
+            [
+                [s.index, s.kind, f"{s.target_sparsity:.3f}",
+                 f"{s.achieved_sparsity:.3f}", s.metric]
+                for s in result.history
+            ],
+        ))
+        drop = bundle.baseline_metric - (result.metric or 0.0)
+        print(f"dense {bundle.metric_name}: {bundle.baseline_metric:.3f}   "
+              f"tuned: {result.metric:.3f}   drop: {drop:+.3f}   "
+              f"sparsity: {result.achieved_sparsity:.3f}")
+    if args.out:
+        try:
+            result.save(args.out)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not args.json:
+            print(f"wrote {args.out}")
     return 0
 
 
@@ -307,6 +448,8 @@ def _info_record() -> dict:
     import dataclasses
 
     import repro
+    from repro.core.importance import IMPORTANCE
+    from repro.core.schedule import SCHEDULES
     from repro.gpu.calibration import DEFAULT_CALIBRATION
     from repro.gpu.device import V100
     from repro.patterns.registry import available_engines, available_patterns
@@ -322,6 +465,8 @@ def _info_record() -> dict:
             "engines": available_engines(),
             "placements": PLACEMENTS.names(),
             "executors": EXECUTORS.names(),
+            "schedules": SCHEDULES.names(),
+            "importance": IMPORTANCE.names(),
         },
     }
 
@@ -358,6 +503,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "prune": _cmd_prune,
+        "tune": _cmd_tune,
         "latency": _cmd_latency,
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,

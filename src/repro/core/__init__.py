@@ -17,16 +17,24 @@ Public surface:
 """
 
 from repro.core.importance import (
+    IMPORTANCE,
     ImportanceConfig,
+    available_importance,
     column_unit_scores,
     exact_loss_delta,
     magnitude_score,
     normalize_scores,
+    resolve_importance,
     row_unit_scores,
     taylor_score,
 )
 from repro.core.tiling import TileConfig
-from repro.core.schedule import GradualSchedule
+from repro.core.schedule import (
+    SCHEDULES,
+    GradualSchedule,
+    available_schedules,
+    resolve_schedule,
+)
 from repro.core.masks import (
     mask_sparsity,
     topk_keep_mask,
@@ -34,19 +42,31 @@ from repro.core.masks import (
 )
 from repro.core.tile_sparsity import TWPruneConfig, split_stage_sparsity, tw_prune_step
 from repro.core.apriori import AprioriConfig, apriori_adjust, unit_ew_sparsity
-from repro.core.pruner import ArrayModel, PrunableModel, PruningResult, TWPruner
+from repro.core.pruner import (
+    ArrayModel,
+    PrunableModel,
+    PruningResult,
+    TWPruner,
+    stage_scores,
+)
 from repro.core.tew import TEWConfig, TEWSolution, tew_overlay
 
 __all__ = [
+    "IMPORTANCE",
     "ImportanceConfig",
+    "available_importance",
     "column_unit_scores",
     "exact_loss_delta",
     "magnitude_score",
     "normalize_scores",
+    "resolve_importance",
     "row_unit_scores",
     "taylor_score",
     "TileConfig",
+    "SCHEDULES",
     "GradualSchedule",
+    "available_schedules",
+    "resolve_schedule",
     "mask_sparsity",
     "topk_keep_mask",
     "validate_tw_mask",
@@ -60,6 +80,7 @@ __all__ = [
     "PrunableModel",
     "PruningResult",
     "TWPruner",
+    "stage_scores",
     "TEWConfig",
     "TEWSolution",
     "tew_overlay",

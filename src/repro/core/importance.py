@@ -17,6 +17,14 @@ training, so the score is free to compute.  The simpler magnitude score
 Unit aggregation: TW prunes *columns* (``K×1`` units) and *tile rows*
 (``1×G`` units, paper Alg. 1 lines 4/13), scored by the collective importance
 of their member elements.
+
+Importance metrics resolve through :data:`IMPORTANCE` (the same
+:class:`~repro.registry.Registry` class as patterns, engines,
+placements, executors and schedules): ``taylor`` (the paper default) and
+``magnitude`` (alias ``mag``) are the seed entries, each a factory for an
+:class:`ImportanceConfig` that also accepts the ``reduction``/``normalize``
+knobs.  ``repro.tune(..., importance="taylor")`` and the CLI resolve names
+here, so a new metric is a ``register(...)`` call, not a new code path.
 """
 
 from __future__ import annotations
@@ -26,8 +34,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.registry import Registry
+
 __all__ = [
     "ImportanceConfig",
+    "IMPORTANCE",
+    "resolve_importance",
+    "available_importance",
     "magnitude_score",
     "taylor_score",
     "exact_loss_delta",
@@ -68,6 +81,50 @@ class ImportanceConfig:
             raise ValueError(f"unknown reduction {self.reduction!r}")
         if self.normalize not in ("none", "mean", "l2"):
             raise ValueError(f"unknown normalization {self.normalize!r}")
+
+
+#: name → ImportanceConfig factory; ``repro.tune`` and the CLI resolve here
+IMPORTANCE = Registry("importance")
+IMPORTANCE.register(
+    "taylor",
+    lambda reduction="sum", normalize="none": ImportanceConfig(
+        method="taylor", reduction=reduction, normalize=normalize
+    ),
+)
+IMPORTANCE.register(
+    "magnitude",
+    lambda reduction="sum", normalize="none": ImportanceConfig(
+        method="magnitude", reduction=reduction, normalize=normalize
+    ),
+    aliases=("mag",),
+)
+
+
+def resolve_importance(
+    spec: "ImportanceConfig | str | None", **kwargs
+) -> ImportanceConfig:
+    """An :class:`ImportanceConfig` from a registry name, instance, or ``None``.
+
+    ``None`` means the default ``taylor`` entry.  Extra ``kwargs``
+    (``reduction``, ``normalize``) are forwarded to the factory with
+    ``None`` values dropped; an instance passes through untouched.
+    """
+    if isinstance(spec, ImportanceConfig):
+        return spec
+    if spec is None:
+        spec = "taylor"
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"importance must be an ImportanceConfig, a registry name or "
+            f"None, got {type(spec).__name__}"
+        )
+    kwargs = {k: v for k, v in kwargs.items() if v is not None}
+    return IMPORTANCE.create(spec, **kwargs)
+
+
+def available_importance() -> list[str]:
+    """Canonical importance-metric names."""
+    return IMPORTANCE.names()
 
 
 def magnitude_score(weights: np.ndarray) -> np.ndarray:

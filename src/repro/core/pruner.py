@@ -15,6 +15,7 @@ real trained networks.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -31,7 +32,40 @@ from repro.core.masks import global_topk_keep_masks, overall_sparsity
 from repro.core.schedule import GradualSchedule
 from repro.core.tile_sparsity import TWPruneConfig, TWStepResult, tw_prune_step
 
-__all__ = ["PrunableModel", "ArrayModel", "StageRecord", "PruningResult", "TWPruner"]
+__all__ = [
+    "PrunableModel",
+    "ArrayModel",
+    "StageRecord",
+    "PruningResult",
+    "TWPruner",
+    "stage_scores",
+]
+
+
+def stage_scores(
+    model: "PrunableModel", config: ImportanceConfig
+) -> list[np.ndarray]:
+    """Importance scores for the model's *current* weights.
+
+    Recomputed at the start of every stage (Alg. 1 line 3).  Requesting
+    Taylor scores from a model without gradients degrades to magnitude
+    rather than failing — magnitude needs no gradients, and raw weight
+    stacks (:class:`ArrayModel` without gradient proxies) are a supported
+    source.  Shared by :class:`TWPruner` and the baseline-pattern stage
+    loop in :func:`repro.api.tune`.
+    """
+    weights = model.weight_matrices()
+    grads = model.gradient_matrices()
+    if config.method == "taylor" and grads is None:
+        config = ImportanceConfig(
+            method="magnitude",
+            reduction=config.reduction,
+            normalize=config.normalize,
+        )
+    return [
+        score_matrix(w, grads[i] if grads else None, config)
+        for i, w in enumerate(weights)
+    ]
 
 
 @runtime_checkable
@@ -62,7 +96,21 @@ class ArrayModel:
     Useful for pruning standalone matrices (kernels, benchmarks) and for
     testing the driver without a training loop.  Optional static gradient
     proxies enable Taylor scoring.
+
+    Raw arrays carry no loss function, optimizer or data, so
+    :meth:`fine_tune` is a **documented no-op** (see
+    :attr:`supports_fine_tuning`): the multi-stage driver degenerates to
+    iterated re-scoring + pruning of the frozen values.  Anything that
+    needs real per-stage recovery — ``repro.tune(..., train=...)``
+    included — must wrap actual training state in
+    :class:`repro.nn.trainer.TrainedModelAdapter` instead; ``tune`` rejects
+    a ``train=`` override on this adapter with an explicit error rather
+    than silently skipping the fine-tuning epochs.
     """
+
+    #: raw arrays cannot fine-tune; repro.tune() checks this before
+    #: accepting a train= override so the epochs are never silently dropped
+    supports_fine_tuning = False
 
     def __init__(
         self,
@@ -92,7 +140,8 @@ class ArrayModel:
             w *= m
         self.masks = [np.asarray(m, dtype=bool).copy() for m in masks]
 
-    def fine_tune(self) -> None:  # raw arrays cannot be fine-tuned
+    def fine_tune(self) -> None:
+        """No-op by design: raw arrays have nothing to train (class docs)."""
         return None
 
 
@@ -151,26 +200,24 @@ class TWPruner:
 
     # ------------------------------------------------------------------ #
     def _scores(self, model: PrunableModel) -> list[np.ndarray]:
-        weights = model.weight_matrices()
-        grads = model.gradient_matrices()
-        cfg = self.importance
-        if cfg.method == "taylor" and grads is None:
-            # fall back rather than fail: magnitude needs no gradients
-            cfg = ImportanceConfig(
-                method="magnitude", reduction=cfg.reduction, normalize=cfg.normalize
-            )
-        return [
-            score_matrix(w, grads[i] if grads else None, cfg)
-            for i, w in enumerate(weights)
-        ]
+        return stage_scores(model, self.importance)
 
     def _ew_reference(self, model: PrunableModel) -> list[np.ndarray]:
         """EW keep-masks at the final target — Algorithm 2's prior."""
         scores = self._scores(model)
         return global_topk_keep_masks(scores, self.schedule.target)
 
-    def prune(self, model: PrunableModel) -> PruningResult:
-        """Run the full multi-stage pruning loop on ``model``."""
+    def prune_stages(
+        self, model: PrunableModel
+    ) -> Iterator[tuple[float, TWStepResult]]:
+        """Run Algorithm 1 stage by stage, yielding after each stage.
+
+        Each yielded ``(stage_target, step)`` pair reflects a stage whose
+        masks have already been applied and fine-tuned, so callers can
+        interleave their own per-stage work — metric evaluation, trajectory
+        logging (:func:`repro.api.tune` does both) — without re-wiring the
+        loop.  :meth:`prune` is this generator driven to completion.
+        """
         if not isinstance(model, PrunableModel):
             raise TypeError("model does not satisfy the PrunableModel protocol")
         ew_sparsity_per_layer: list[np.ndarray] | None = None
@@ -178,8 +225,6 @@ class TWPruner:
             ew_masks = self._ew_reference(model)
             ew_sparsity_per_layer = [unit_ew_sparsity(m) for m in ew_masks]
 
-        history: list[StageRecord] = []
-        step: TWStepResult | None = None
         for stage_target in self.schedule.stages():
             scores = self._scores(model)
             adjust = None
@@ -193,6 +238,13 @@ class TWPruner:
             step = tw_prune_step(scores, stage_target, self.config, column_score_adjust=adjust)
             model.apply_masks(step.masks)
             model.fine_tune()
+            yield stage_target, step
+
+    def prune(self, model: PrunableModel) -> PruningResult:
+        """Run the full multi-stage pruning loop on ``model``."""
+        history: list[StageRecord] = []
+        step: TWStepResult | None = None
+        for stage_target, step in self.prune_stages(model):
             history.append(
                 StageRecord(
                     target_sparsity=stage_target,

@@ -7,31 +7,24 @@ accuracy.  This module reproduces that flow on the Mini* models:
 
 1. :func:`prepare_task` trains a dense model on the task's synthetic
    dataset and snapshots its weights;
-2. :func:`prune_and_evaluate` restores the snapshot, runs multi-stage
-   pruning with the requested pattern (TW through Algorithm 1, baselines
-   through the shared stage loop with their own mask rules), fine-tuning
-   after each stage with masks enforced, and returns test accuracy.
+2. :func:`prune_and_evaluate` restores the snapshot and hands the
+   multi-stage loop to :func:`repro.tune` — TW through Algorithm 1, TEW as
+   the composable overlay option, baselines through the shared stage loop
+   with their own mask rules — then returns test accuracy.
 
-Everything is deterministic given the seeds.
+There is no hand-wired ``TWPruner``/``GradualSchedule`` construction here:
+the experiment is a thin task-preparation layer over the training-time
+front door (ROADMAP "one front door" contract).  Everything is
+deterministic given the seeds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Callable
 
 import numpy as np
 
-from repro.core import (
-    AprioriConfig,
-    GradualSchedule,
-    ImportanceConfig,
-    TEWConfig,
-    TWPruneConfig,
-    TWPruner,
-    tew_overlay,
-)
-from repro.core.importance import score_matrix
+from repro.core import ImportanceConfig, TWPruneConfig
 from repro.nn.datasets import (
     ClassificationSplit,
     ImagePatternDataset,
@@ -51,8 +44,7 @@ from repro.models import (
     NMTConfig,
     VGGConfig,
 )
-from repro.patterns import Pattern
-from repro.patterns.registry import PATTERNS, make_pattern
+from repro.patterns.registry import PATTERNS
 
 __all__ = ["TaskBundle", "prepare_task", "prune_and_evaluate", "TASKS"]
 
@@ -150,32 +142,6 @@ def prepare_task(task: str, seed: int = 0, train_samples: int = 768) -> TaskBund
     return bundle
 
 
-def _baseline_pattern(name: str, **kw) -> Pattern:
-    """Resolve a baseline pattern through the string registry."""
-    if name not in PATTERNS:
-        raise KeyError(f"unknown baseline pattern {name!r}")
-    return make_pattern(name, **kw)
-
-
-def _multi_stage_baseline(
-    adapter: TrainedModelAdapter,
-    pattern: Pattern,
-    schedule: GradualSchedule,
-    importance: ImportanceConfig,
-) -> None:
-    """The paper's stage loop applied to a baseline pattern's mask rule."""
-    for target in schedule.stages():
-        weights = adapter.weight_matrices()
-        grads = adapter.gradient_matrices()
-        scores = [
-            score_matrix(w, grads[i] if grads else None, importance)
-            for i, w in enumerate(weights)
-        ]
-        result = pattern.prune(scores, target)
-        adapter.apply_masks(result.masks)
-        adapter.fine_tune()
-
-
 def prune_and_evaluate(
     bundle: TaskBundle,
     pattern: str,
@@ -193,66 +159,27 @@ def prune_and_evaluate(
     """Restore the dense snapshot, prune with ``pattern``, return the metric.
 
     ``pattern`` ∈ {``dense``, ``ew``, ``vw``, ``bw``, ``tw``, ``tew``}.
+    The multi-stage loop itself runs inside :func:`repro.tune`; this
+    wrapper only prepares the task state and reads the metric back.
     """
     bundle.restore()
     if pattern == "dense" or sparsity == 0.0:
         return bundle.evaluate()
-    importance = importance or ImportanceConfig(method="taylor")
-    schedule = GradualSchedule(target=sparsity, n_stages=n_stages)
-    adapter = bundle.adapter()
-
-    if pattern == "tw":
-        cfg = prune_config or TWPruneConfig(granularity=granularity)
-        pruner = TWPruner(
-            cfg, schedule, importance, AprioriConfig() if apriori else None
-        )
-        pruner.prune(adapter)
-    elif pattern == "tew":
-        # TW to sparsity + delta, then restore the best delta fraction (§IV-A).
-        # Restore candidates are ranked by the *dense* model's importance
-        # scores, captured before pruning — after pruning, pruned weights are
-        # zero and would score zero, making the selection meaningless.
-        snapshot_weights = [
-            bundle.snapshot[i] for i in _prunable_snapshot_indices(bundle)
-        ]
-        dense_grads = adapter.gradient_matrices()
-        dense_scores = [
-            score_matrix(w, dense_grads[i] if dense_grads else None, importance)
-            for i, w in enumerate(snapshot_weights)
-        ]
-        overshoot = min(sparsity + tew_delta, 0.99)
-        cfg = prune_config or TWPruneConfig(granularity=granularity)
-        pruner = TWPruner(
-            cfg,
-            GradualSchedule(target=overshoot, n_stages=n_stages),
-            importance,
-            AprioriConfig() if apriori else None,
-        )
-        result = pruner.prune(adapter)
-        sol = tew_overlay(
-            snapshot_weights, dense_scores, result.masks, TEWConfig(delta=tew_delta)
-        )
-        # write the restored elements' trained values back before masking —
-        # the overlay *revives* weights, it does not merely unmask zeros
-        for tensor, saved, ew_mask in zip(
-            adapter.prunable, snapshot_weights, sol.ew_masks
-        ):
-            tensor.data[ew_mask] = saved[ew_mask]
-        adapter.apply_masks(sol.masks)
-        adapter.fine_tune()
-    elif pattern in ("ew", "vw", "bw"):
-        p = _baseline_pattern(
-            pattern, vector_size=vector_size, block_shape=block_shape
-        )
-        _multi_stage_baseline(adapter, p, schedule, importance)
-    else:
+    if pattern not in ("tw", "tew") and pattern not in PATTERNS:
         raise KeyError(f"unknown pattern {pattern!r}")
+    from repro.api import tune
+
+    tune(
+        bundle.adapter(),
+        pattern=pattern,
+        sparsity=sparsity,
+        granularity=granularity,
+        schedule="gradual",
+        n_stages=n_stages,
+        importance=importance or ImportanceConfig(method="taylor"),
+        tew=tew_delta if pattern == "tew" else None,
+        apriori=apriori,
+        prune_config=prune_config,
+        pattern_kwargs={"vector_size": vector_size, "block_shape": block_shape},
+    )
     return bundle.evaluate()
-
-
-def _prunable_snapshot_indices(bundle: TaskBundle) -> list[int]:
-    """Indices of the prunable tensors within ``parameters()`` order."""
-    params = list(bundle.model.parameters())
-    prunable = bundle.model.prunable_weights()
-    index_of = {id(p): i for i, p in enumerate(params)}
-    return [index_of[id(w)] for w in prunable]

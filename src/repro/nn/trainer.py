@@ -95,6 +95,10 @@ class TrainedModelAdapter:
         How many batches to average Taylor gradients over.
     """
 
+    #: real training state is attached; repro.tune() may override the
+    #: per-stage budget through set_finetune_config()
+    supports_fine_tuning = True
+
     def __init__(
         self,
         prunable: list[Tensor],
@@ -117,6 +121,18 @@ class TrainedModelAdapter:
         self._optimizer = Adam(
             list(self._all_params()), lr=lr or self.finetune_config.lr
         )
+
+    def set_finetune_config(self, config: TrainConfig) -> None:
+        """Replace the per-stage fine-tuning budget (``tune(train=...)``).
+
+        The optimizer's learning rate follows the new config; its masks and
+        moment state survive, so overriding mid-session is safe.  A
+        ``TrainConfig(epochs=0)`` budget is well-defined: every stage
+        prunes and re-scores but skips recovery entirely (the one-shot
+        ablation at each stage).
+        """
+        self.finetune_config = config
+        self._optimizer.lr = config.lr
 
     def _all_params(self):
         seen = set()

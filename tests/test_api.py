@@ -1,9 +1,17 @@
-"""Tests for the front door: repro.compile() → CompiledTWModel."""
+"""Tests for the front doors: repro.compile() and repro.tune()."""
 
 import numpy as np
 import pytest
 
 import repro
+from repro.core import (
+    AprioriConfig,
+    ArrayModel,
+    GradualSchedule,
+    ImportanceConfig,
+    TEWConfig,
+    TWPruner,
+)
 from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
 from repro.formats.tiled import TiledTWMatrix
 from repro.gpu.device import T4, V100
@@ -31,6 +39,25 @@ def _hand_wired(weights, x, sparsity, g):
         tw = TiledTWMatrix.from_masks(w, g, step.col_keeps[i], step.row_masks[i])
         plan = build_execution_plan(tw, V100)
         a = tw_gemm(a, tw, plan=plan)
+    return a
+
+
+def _hand_wired_tuned(weights, x, sparsity, g, n_stages, apriori=None):
+    """The multi-stage chain tune() must reproduce bit-for-bit."""
+    model = ArrayModel(weights)
+    pruner = TWPruner(
+        TWPruneConfig(granularity=g),
+        GradualSchedule(target=sparsity, n_stages=n_stages),
+        ImportanceConfig(method="magnitude"),
+        apriori,
+    )
+    result = pruner.prune(model)
+    a = x
+    for i, w in enumerate(model.weight_matrices()):
+        tw = TiledTWMatrix.from_masks(
+            w, g, result.step.col_keeps[i], result.step.row_masks[i]
+        )
+        a = tw_gemm(a, tw, plan=build_execution_plan(tw, V100))
     return a
 
 
@@ -308,3 +335,272 @@ class TestDemoStack:
         rng = np.random.default_rng(4)
         x = rng.standard_normal((4, weights[0].shape[0]))
         np.testing.assert_array_equal(server.serve(x).output, model.run(x))
+
+
+class TestTune:
+    """The training-time front door: repro.tune() → TuneResult."""
+
+    def test_matches_hand_wired_chain_bit_for_bit(self, stack):
+        weights, x = stack
+        result = repro.tune(
+            weights, pattern="tw", sparsity=0.5, granularity=8,
+            schedule="gradual", n_stages=3, importance="magnitude",
+            apriori=False,
+        )
+        want = _hand_wired_tuned(weights, x, 0.5, 8, 3)
+        np.testing.assert_array_equal(result.compiled.run(x), want)
+        np.testing.assert_array_equal(result.run(x), want)
+
+    def test_matches_hand_wired_with_apriori(self, stack):
+        weights, x = stack
+        result = repro.tune(
+            weights, sparsity=0.5, granularity=8, n_stages=2,
+            importance="magnitude", apriori=True,
+        )
+        want = _hand_wired_tuned(weights, x, 0.5, 8, 2, apriori=AprioriConfig())
+        np.testing.assert_array_equal(result.compiled.run(x), want)
+
+    def test_oneshot_schedule_matches_compile(self, stack):
+        # a single gradual stage at the target with magnitude scores and no
+        # apriori is exactly what compile() runs one-shot
+        weights, x = stack
+        tuned = repro.tune(
+            weights, sparsity=0.5, granularity=8, schedule="oneshot",
+            importance="magnitude", apriori=False,
+        )
+        compiled = repro.compile(weights, sparsity=0.5, granularity=8)
+        np.testing.assert_array_equal(tuned.compiled.run(x), compiled.run(x))
+
+    def test_trajectory_records_every_stage(self, stack):
+        weights, _ = stack
+        result = repro.tune(
+            weights, sparsity=0.6, granularity=8, n_stages=4,
+            importance="magnitude", apriori=False,
+        )
+        assert result.n_stages == len(result.schedule.stages())
+        traj = result.trajectory()
+        assert [t["stage"] for t in traj] == list(range(len(traj)))
+        assert all(t["kind"] == "prune" for t in traj)
+        achieved = [t["achieved_sparsity"] for t in traj]
+        assert all(b >= a - 1e-9 for a, b in zip(achieved, achieved[1:]))
+        assert traj[-1]["target_sparsity"] == pytest.approx(0.6)
+        assert result.achieved_sparsity == pytest.approx(0.6, abs=0.03)
+        assert result.metric is None  # no evaluate= callback
+
+    def test_tew_overlay_composes(self, stack):
+        weights, x = stack
+        result = repro.tune(
+            weights, pattern="tew", sparsity=0.5, granularity=8,
+            n_stages=2, importance="magnitude", tew=0.05,
+        )
+        assert result.pattern == "tew"
+        assert result.history[-1].kind == "overlay"
+        # overlay restores down from the overshoot back to the target
+        assert result.achieved_sparsity == pytest.approx(0.5, abs=0.02)
+        assert result.tew is not None and result.residuals is not None
+        for twm, ewm in zip(result.tew.tw_masks, result.tew.ew_masks):
+            assert not (twm & ewm).any()
+        # the two-pass decomposition equals the union masked-dense forward
+        # exactly on dyadic data (paper §IV-A linearity)
+        want = x
+        for layer, union in zip(result.compiled.layers, result.masks):
+            want = want @ (layer.dense * union)
+        np.testing.assert_array_equal(result.run(x), want)
+
+    def test_tew_sugar_defaults_delta(self, stack):
+        weights, _ = stack
+        result = repro.tune(
+            weights, pattern="tew", sparsity=0.5, granularity=8,
+            n_stages=1, importance="magnitude",
+        )
+        assert result.tew.ew_fraction == pytest.approx(
+            TEWConfig().delta, abs=0.01
+        )
+
+    def test_tew_refuses_mask_only_patterns(self, stack):
+        weights, _ = stack
+        with pytest.raises(ValueError, match="tw pattern only"):
+            repro.tune(weights, pattern="ew", tew=0.05)
+
+    def test_baseline_patterns_run_shared_stage_loop(self, stack):
+        weights, x = stack
+        result = repro.tune(
+            weights, pattern="ew", sparsity=0.5, n_stages=2,
+            importance="magnitude",
+        )
+        assert result.pattern == "ew"
+        assert result.achieved_sparsity == pytest.approx(0.5, abs=0.02)
+        want = x
+        for layer in result.compiled.layers:
+            want = want @ (layer.dense * layer.mask)
+        np.testing.assert_array_equal(result.run(x), want)
+
+    def test_dense_pattern_rejected(self, stack):
+        weights, _ = stack
+        with pytest.raises(ValueError, match="dense baseline"):
+            repro.tune(weights, pattern="dense")
+
+    def test_explicit_schedule_instance_wins(self, stack):
+        weights, _ = stack
+        sched = GradualSchedule(target=0.4, n_stages=2, law="linear")
+        result = repro.tune(
+            weights, sparsity=0.9, schedule=sched, granularity=8,
+            importance="magnitude",
+        )
+        assert result.sparsity == 0.4
+        assert result.schedule is sched
+
+    def test_save_load_round_trip(self, stack, tmp_path):
+        weights, x = stack
+        result = repro.tune(
+            weights, sparsity=0.5, granularity=8, n_stages=2,
+            importance="magnitude",
+        )
+        loaded = repro.load(result.save(tmp_path / "tuned.npz"))
+        np.testing.assert_array_equal(loaded.run(x), result.compiled.run(x))
+
+    def test_tew_save_refused(self, stack, tmp_path):
+        weights, _ = stack
+        result = repro.tune(
+            weights, pattern="tew", sparsity=0.5, granularity=8,
+            n_stages=1, importance="magnitude",
+        )
+        with pytest.raises(ValueError, match="residual"):
+            result.save(tmp_path / "tuned.npz")
+
+    def test_tuned_model_serves(self, stack):
+        weights, x = stack
+        result = repro.tune(
+            weights, sparsity=0.5, granularity=8, n_stages=2,
+            importance="magnitude",
+        )
+        server = result.compiled.serve()
+        np.testing.assert_array_equal(
+            server.serve(x).output, result.compiled.run(x)
+        )
+        assert server.stats.format_misses == 0
+
+
+class TestTuneFineTuning:
+    """The train=/data= contract: no silently-dropped fine-tuning."""
+
+    @pytest.fixture()
+    def tiny_task(self):
+        from repro.models import BertConfig, MiniBERTClassifier
+        from repro.nn.datasets import SentencePairDataset
+
+        ds = SentencePairDataset(vocab_size=32, seq_len=8, seed=0)
+        split = ds.sample(32, 1)
+        model = MiniBERTClassifier(
+            BertConfig(vocab_size=32, dim=16, n_layers=1, n_heads=2,
+                       max_len=16, seed=0),
+            n_classes=3,
+        )
+        return model, split
+
+    def test_raw_arrays_reject_train(self, stack):
+        weights, _ = stack
+        from repro.nn.trainer import TrainConfig
+
+        with pytest.raises(ValueError, match="cannot be fine-tuned"):
+            repro.tune(weights, train=TrainConfig(epochs=1))
+
+    def test_array_model_rejects_train(self, stack):
+        weights, _ = stack
+        from repro.nn.trainer import TrainConfig
+
+        with pytest.raises(ValueError, match="documented no-op"):
+            repro.tune(ArrayModel(weights), train=TrainConfig(epochs=1))
+
+    def test_array_model_fine_tune_is_noop(self, stack):
+        weights, _ = stack
+        model = ArrayModel(weights)
+        assert model.supports_fine_tuning is False
+        before = [w.copy() for w in model.weight_matrices()]
+        model.fine_tune()
+        for b, w in zip(before, model.weight_matrices()):
+            np.testing.assert_array_equal(b, w)
+
+    def test_module_needs_data(self, tiny_task):
+        model, _ = tiny_task
+        with pytest.raises(ValueError, match="data="):
+            repro.tune(model, sparsity=0.5, granularity=4)
+
+    def test_module_with_data_tunes(self, tiny_task):
+        model, split = tiny_task
+        result = repro.tune(
+            model, data=split, sparsity=0.5, granularity=4, n_stages=2,
+        )
+        assert result.achieved_sparsity == pytest.approx(0.5, abs=0.05)
+        # masks really constrained the module's live weights
+        for w, m in zip(model.prunable_weights(), result.masks):
+            assert np.all(w.data[~m] == 0.0)
+
+    def test_adapter_train_override_and_zero_epochs(self, tiny_task):
+        from repro.nn.trainer import TrainConfig, TrainedModelAdapter
+
+        model, split = tiny_task
+        adapter = TrainedModelAdapter(
+            model.prunable_weights(), model.loss, split
+        )
+        assert adapter.supports_fine_tuning is True
+        zero = TrainConfig(epochs=0)
+        before = [w.copy() for w in adapter.weight_matrices()]
+        result = repro.tune(
+            adapter, sparsity=0.5, granularity=4, n_stages=1, train=zero,
+        )
+        assert adapter.finetune_config is zero
+        # epochs=0 is well-defined: prune-only stages, no weight updates
+        # beyond masking
+        for b, w, m in zip(before, adapter.weight_matrices(), result.masks):
+            np.testing.assert_array_equal(b * m, w)
+
+    def test_adapter_rejects_data_kwarg(self, tiny_task):
+        model, split = tiny_task
+        from repro.nn.trainer import TrainedModelAdapter
+
+        adapter = TrainedModelAdapter(
+            model.prunable_weights(), model.loss, split
+        )
+        with pytest.raises(ValueError, match="data="):
+            repro.tune(adapter, data=split)
+
+    def test_tew_residuals_track_fine_tuned_values(self, tiny_task):
+        from repro.nn.trainer import TrainConfig, TrainedModelAdapter
+
+        model, split = tiny_task
+        adapter = TrainedModelAdapter(
+            model.prunable_weights(), model.loss, split,
+            TrainConfig(epochs=1, batch_size=16),
+        )
+        result = repro.tune(
+            adapter, pattern="tew", sparsity=0.5, granularity=4,
+            n_stages=1, tew=0.1,
+        )
+        # the overlay solution's execution payload must reflect the
+        # *final* trained values (fine-tuning moved the restored weights),
+        # staying consistent with result.residuals and result.run()
+        for res, tew_res, w, ew in zip(
+            result.residuals, result.tew.residuals,
+            adapter.weight_matrices(), result.tew.ew_masks,
+        ):
+            np.testing.assert_array_equal(
+                res.to_dense(), np.where(ew, w, 0.0)
+            )
+            np.testing.assert_array_equal(res.to_dense(), tew_res.to_dense())
+
+    def test_evaluate_callback_fills_trajectory(self, tiny_task):
+        model, split = tiny_task
+        calls = []
+
+        def metric():
+            calls.append(1)
+            return float(len(calls))
+
+        result = repro.tune(
+            model, data=split, sparsity=0.5, granularity=4, n_stages=2,
+            evaluate=metric,
+        )
+        assert len(calls) == result.n_stages
+        assert result.metric == float(len(calls))
+        assert [t["metric"] for t in result.trajectory()] == [1.0, 2.0]

@@ -67,6 +67,101 @@ class TestPrune:
         assert rc == 2
 
 
+class TestTune:
+    # small task budgets: the dense training runs inside the command
+    _FAST = ["tune", "mnli", "--train-samples", "48", "--stages", "1",
+             "--sparsity", "0.5", "-G", "8"]
+
+    def test_tasks_mirror_experiments(self):
+        from repro.cli import _TASKS
+        from repro.experiments.accuracy import TASKS
+
+        assert _TASKS == TASKS
+
+    def test_prints_trajectory(self, capsys):
+        rc = main(self._FAST)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "target" in out and "achieved" in out
+        assert "dense accuracy" in out
+
+    def test_json_trajectory(self, capsys):
+        import json
+
+        rc = main(self._FAST + ["--json"])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["pattern"] == "tw"
+        assert len(record["trajectory"]) == 1
+        stage = record["trajectory"][0]
+        assert stage["kind"] == "prune"
+        assert stage["achieved_sparsity"] == pytest.approx(0.5, abs=0.03)
+        assert record["final_metric"] is not None
+
+    def test_tew_adds_overlay_stage(self, capsys):
+        import json
+
+        rc = main(self._FAST + ["--pattern", "tew", "--json"])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["pattern"] == "tew"
+        assert record["trajectory"][-1]["kind"] == "overlay"
+
+    def test_out_saves_loadable_model(self, tmp_path, capsys):
+        out = tmp_path / "tuned.npz"
+        rc = main(self._FAST + ["--out", str(out)])
+        assert rc == 0
+        import repro
+
+        model = repro.load(out)
+        assert model.achieved_sparsity == pytest.approx(0.5, abs=0.03)
+
+    def test_tew_out_rejected(self, tmp_path, capsys):
+        rc = main(self._FAST + ["--pattern", "tew",
+                                "--out", str(tmp_path / "t.npz")])
+        assert rc == 2
+        assert "residual" in capsys.readouterr().err
+
+    def test_zero_finetune_epochs_allowed(self, capsys):
+        rc = main(self._FAST + ["--finetune-epochs", "0"])
+        assert rc == 0
+
+    def test_bad_sparsity(self, capsys):
+        rc = main(["tune", "mnli", "--sparsity", "1.0"])
+        assert rc == 2
+
+    def test_bad_stages(self, capsys):
+        rc = main(["tune", "mnli", "--stages", "0"])
+        assert rc == 2
+
+    def test_bad_granularity_rejected_before_training(self, capsys):
+        rc = main(["tune", "mnli", "-G", "0"])
+        assert rc == 2
+        assert "granularity" in capsys.readouterr().err
+
+    def test_oneshot_schedule_runs(self, capsys):
+        import json
+
+        rc = main(["tune", "mnli", "--train-samples", "48", "--sparsity",
+                   "0.5", "-G", "8", "--schedule", "oneshot", "--json"])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert len(record["trajectory"]) == 1
+
+    def test_oneshot_with_stages_conflict(self, capsys):
+        rc = main(["tune", "mnli", "--schedule", "oneshot", "--stages", "3"])
+        assert rc == 2
+        assert "single-stage" in capsys.readouterr().err
+
+    def test_bad_schedule_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "mnli", "--schedule", "warmup"])
+
+    def test_bad_importance_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "mnli", "--importance", "entropy"])
+
+
 class TestLatency:
     def test_tw_latency(self, capsys):
         rc = main(["latency", "bert", "--pattern", "tw", "--sparsity", "0.75"])
@@ -178,4 +273,6 @@ class TestInfo:
         assert record["registries"]["engines"] == ["cuda_core", "tensor_core"]
         assert "layer_sharded" in record["registries"]["placements"]
         assert record["registries"]["executors"] == ["inline", "threaded"]
+        assert record["registries"]["schedules"] == ["gradual", "oneshot"]
+        assert record["registries"]["importance"] == ["magnitude", "taylor"]
         assert "tw_masked_load_stall" in record["calibration"]

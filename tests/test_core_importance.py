@@ -6,15 +6,50 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.importance import (
+    IMPORTANCE,
     ImportanceConfig,
+    available_importance,
     column_unit_scores,
     exact_loss_delta,
     magnitude_score,
     normalize_scores,
+    resolve_importance,
     row_unit_scores,
     score_matrix,
     taylor_score,
 )
+
+
+class TestImportanceRegistry:
+    def test_names(self):
+        assert available_importance() == ["magnitude", "taylor"]
+
+    def test_round_trip_with_knobs(self):
+        cfg = IMPORTANCE.create("taylor", reduction="l2", normalize="mean")
+        assert cfg == ImportanceConfig(
+            method="taylor", reduction="l2", normalize="mean"
+        )
+        assert IMPORTANCE.create("magnitude") == ImportanceConfig(
+            method="magnitude"
+        )
+
+    def test_alias_canonicalises(self):
+        assert IMPORTANCE.canonical("mag") == "magnitude"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(
+            KeyError, match="unknown importance 'entropy'.*magnitude.*taylor"
+        ):
+            IMPORTANCE.canonical("entropy")
+
+    def test_resolve_forms(self):
+        inst = ImportanceConfig(method="magnitude", reduction="mean")
+        assert resolve_importance(inst) is inst
+        assert resolve_importance(None).method == "taylor"
+        assert resolve_importance("mag").method == "magnitude"
+        assert resolve_importance("taylor", reduction=None).reduction == "sum"
+        with pytest.raises(TypeError):
+            resolve_importance(3.14)
 
 
 class TestElementScores:

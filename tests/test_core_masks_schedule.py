@@ -13,7 +13,12 @@ from repro.core.masks import (
     tw_mask_from_tiles,
     validate_tw_mask,
 )
-from repro.core.schedule import GradualSchedule
+from repro.core.schedule import (
+    SCHEDULES,
+    GradualSchedule,
+    available_schedules,
+    resolve_schedule,
+)
 
 
 class TestMaskBasics:
@@ -172,6 +177,77 @@ class TestSchedule:
             GradualSchedule(target=0.5, n_stages=0)
         with pytest.raises(ValueError):
             GradualSchedule(target=0.5, law="polynomial")
+
+
+class TestScheduleDegenerateCases:
+    def test_start_equals_target_collapses_to_one_stage(self):
+        # well-defined, not empty: one (re-)prune stage at the target
+        for law in ("linear", "cubic", "geometric"):
+            sched = GradualSchedule(target=0.5, n_stages=4, law=law, start=0.5)
+            assert sched.stages() == [0.5]
+
+    def test_start_above_target_rejected(self):
+        with pytest.raises(ValueError, match="exceeds target"):
+            GradualSchedule(target=0.3, start=0.5)
+
+    def test_start_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="start sparsity"):
+            GradualSchedule(target=0.5, start=-0.1)
+        with pytest.raises(ValueError, match="start sparsity"):
+            GradualSchedule(target=0.5, start=1.0)
+
+    def test_nonzero_start_interpolates(self):
+        stages = GradualSchedule(
+            target=0.8, n_stages=4, law="linear", start=0.4
+        ).stages()
+        assert stages == pytest.approx([0.5, 0.6, 0.7, 0.8])
+        assert all(s > 0.4 for s in stages)
+
+    def test_zero_start_is_historical_behavior(self):
+        for law in ("linear", "cubic", "geometric"):
+            explicit = GradualSchedule(target=0.77, n_stages=6, law=law, start=0.0)
+            default = GradualSchedule(target=0.77, n_stages=6, law=law)
+            assert explicit.stages() == default.stages()
+
+
+class TestScheduleRegistry:
+    def test_names(self):
+        assert available_schedules() == ["gradual", "oneshot"]
+
+    def test_gradual_round_trip(self):
+        sched = SCHEDULES.create("gradual", target=0.75, n_stages=3, law="linear")
+        assert isinstance(sched, GradualSchedule)
+        assert sched.stages() == pytest.approx([0.25, 0.5, 0.75])
+
+    def test_oneshot_is_single_stage(self):
+        sched = SCHEDULES.create("oneshot", target=0.6)
+        assert sched.stages() == [0.6]
+        assert SCHEDULES.create("oneshot", target=0.6, n_stages=1).stages() == [0.6]
+
+    def test_oneshot_rejects_conflicting_knobs(self):
+        # no-silent-drop contract: a multi-stage request on the
+        # single-stage schedule is an error, not an ignored kwarg
+        with pytest.raises(ValueError, match="single-stage by definition"):
+            SCHEDULES.create("oneshot", target=0.6, n_stages=4)
+        with pytest.raises(ValueError, match="single-stage by definition"):
+            SCHEDULES.create("oneshot", target=0.6, law="linear")
+
+    def test_aliases_canonicalise(self):
+        assert SCHEDULES.canonical("gradually_increase") == "gradual"
+        assert SCHEDULES.canonical("one_shot") == "oneshot"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="unknown schedule 'warmup'.*gradual.*oneshot"):
+            SCHEDULES.canonical("warmup")
+
+    def test_resolve_forms(self):
+        inst = GradualSchedule(target=0.5, n_stages=2)
+        assert resolve_schedule(inst, target=0.9) is inst
+        assert resolve_schedule(None, target=0.5).target == 0.5
+        sched = resolve_schedule("gradual", target=0.5, n_stages=None, law="linear")
+        assert sched.law == "linear" and sched.n_stages == 4  # None dropped
+        with pytest.raises(TypeError):
+            resolve_schedule(42, target=0.5)
 
 
 @given(
