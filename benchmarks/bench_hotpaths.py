@@ -43,6 +43,12 @@ future PR has a perf trajectory to regress against:
   Outputs are asserted bit-identical between executors; the measured
   speedup is reported next to the modeled ``critical_path_s`` headroom
   (their ratio is ``parallel_efficiency``).
+- **server_faults** — recovery overhead of the fault-tolerant flush path:
+  the same BERT-base request stream served fault-free and under seeded
+  deterministic fault schedules (transient exceptions retried at fresh
+  wave indices, latency spikes absorbed in-wave, retry-budget exhaustion
+  driving the bisection path).  Every scenario must end with all requests
+  ``ok``, so ``flush_wall_ms`` measures the retry/bisect work itself.
 
 Usage::
 
@@ -553,6 +559,98 @@ def bench_parallel_server(quick: bool) -> dict:
     }
 
 
+def bench_faults_server(quick: bool) -> dict:
+    """Recovery overhead of the fault-tolerant serving path (ISSUE 6)."""
+    import repro
+    from repro.api import demo_layer_stack
+    from repro.runtime.faults import resolve_faults
+    from repro.runtime.server import ServerConfig
+
+    g, sparsity, dtype = 64, 0.75, "float32"
+    n_req, req_rows = (4, 16) if quick else (8, 16)
+    weights, names = demo_layer_stack("bert", blocks=1, seed=8, dtype=np.float32)
+    model = repro.compile(
+        weights, pattern="tw", sparsity=sparsity, granularity=g,
+        dtype=np.dtype(dtype), names=names,
+    )
+    rng = np.random.default_rng(10)
+    reqs = [
+        rng.standard_normal((req_rows, weights[0].shape[0])).astype(dtype)
+        for _ in range(n_req)
+    ]
+
+    # every scenario must end all-ok, so flush_wall_ms measures *recovery*
+    # (retry/bisect work), not partial service.  The injector attaches
+    # after the warm-up serve: the warm wave is index 0, the timed waves
+    # start at 1, and fault budgets are untouched by the warm-up.
+    scenarios = {
+        # no injector at all: the baseline the overhead column compares to
+        "fault_free": None,
+        # two timed waves each fail once and retry at fresh wave indices
+        "transient_exceptions": "exception:wave=1;exception:wave=2",
+        # probabilistic 1 ms spikes: absorbed in-wave, never retried
+        "latency_spikes": "latency:rate=0.5:duration=0.001:seed=1",
+        # one wave burns the whole retry budget (3 fires), gets bisected,
+        # and the exhausted max_fires budget lets the halves complete
+        "retry_exhaustion_bisect": "exception:max_fires=3",
+    }
+
+    reps = 2 if quick else 3
+    rows = {}
+    base_ms = None
+    for label, spec in scenarios.items():
+
+        def once():
+            server = model.serve(ServerConfig(
+                granularity=g, dtype=dtype, max_wave_rows=2 * req_rows,
+                max_retries=2,
+            ))
+            server.serve(reqs[0])  # warm: formats + plans built (wave 0)
+            object.__setattr__(server.config, "faults", resolve_faults(spec))
+            for r in reqs:
+                server.submit(r)
+            t0 = time.perf_counter()
+            served = server.flush()
+            ms = (time.perf_counter() - t0) * 1e3
+            assert all(s.status == "ok" for s in served), label
+            return ms, server.stats, server.config.faults
+
+        best, stats, faults = min(
+            (once() for _ in range(reps)), key=lambda t: t[0]
+        )
+        row = {
+            "flush_wall_ms": round(best, 2),
+            "retries": stats.retries,
+            "requeues": stats.requeues,
+            "poisoned": stats.poisoned,
+            "faults_fired": faults.total_fired if faults else 0,
+        }
+        if label == "fault_free":
+            base_ms = best
+        else:
+            row["overhead_vs_fault_free"] = round(best / base_ms, 2)
+        rows[label] = row
+        print(
+            f"faults {label:<24s} flush {best:8.2f}ms  "
+            f"retries {stats.retries}  fired {row['faults_fired']}"
+        )
+    return {
+        "model": "bert encoder x1 (768/3072)",
+        "granularity": g,
+        "sparsity": sparsity,
+        "dtype": dtype,
+        "requests": n_req,
+        "rows_per_request": req_rows,
+        "executor": "inline",
+        "note": (
+            "all scenarios end all-ok: transient faults retry at fresh "
+            "wave indices, exhausted budgets bisect; flush_wall_ms "
+            "includes the recovery work"
+        ),
+        "scenarios": rows,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="reduced sweep")
@@ -583,6 +681,7 @@ def main() -> None:
         "server": bench_server(args.quick),
         "server_sharded": bench_sharded_server(args.quick),
         "server_parallel": bench_parallel_server(args.quick),
+        "server_faults": bench_faults_server(args.quick),
     }
     args.out.write_text(json.dumps(record, indent=1) + "\n")
     print(f"wrote {args.out}")

@@ -387,6 +387,11 @@ class CompiledTWModel:
         executor: str | None = None,
         workers: int | None = None,
         pace: float | None = None,
+        max_retries: int | None = None,
+        max_queue_rows: int | None = None,
+        shed_policy: str | None = None,
+        watchdog_s: float | None = None,
+        faults: object = None,
     ) -> TWModelServer:
         """A :class:`TWModelServer` over this model, caches pre-seeded.
 
@@ -395,11 +400,16 @@ class CompiledTWModel:
         plans are adopted into the server's caches (``preload``), so the
         first request is already warm whenever the config matches.
 
-        ``executor``/``workers``/``pace`` override the corresponding
+        The keyword arguments override the corresponding
         :class:`ServerConfig` fields (with or without an explicit
         ``config``): ``executor="threaded"`` overlaps the placement's
         device slots in wall-time — outputs stay bit-identical to
-        ``inline`` — and ``pace`` turns on simulated-device pacing.
+        ``inline`` — ``pace`` turns on simulated-device pacing, and the
+        robustness knobs (``max_retries``, ``max_queue_rows``,
+        ``shed_policy``, ``watchdog_s``, ``faults``) configure the
+        fault-tolerant serving path (ISSUE 6): wave retry with poison
+        isolation, queue backpressure, stall watchdog and deterministic
+        fault injection.
         """
         self._require_weights("serve")
         if any(l.tw is None for l in self.layers):
@@ -415,7 +425,16 @@ class CompiledTWModel:
             )
         overrides = {
             k: v
-            for k, v in (("executor", executor), ("workers", workers), ("pace", pace))
+            for k, v in (
+                ("executor", executor),
+                ("workers", workers),
+                ("pace", pace),
+                ("max_retries", max_retries),
+                ("max_queue_rows", max_queue_rows),
+                ("shed_policy", shed_policy),
+                ("watchdog_s", watchdog_s),
+                ("faults", faults),
+            )
             if v is not None
         }
         if overrides:

@@ -141,6 +141,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=None,
                          help="worker-thread cap for --executor threaded "
                               "(default: one per device slot)")
+    p_serve.add_argument("--max-retries", type=int, default=2,
+                         help="re-execution budget per failed wave group "
+                              "before bisection isolates the poison request")
+    p_serve.add_argument("--deadline-s", type=float, default=None,
+                         help="per-request deadline (seconds, relative to "
+                              "submit); expired requests are shed before any "
+                              "GEMM runs")
+    p_serve.add_argument("--max-queue-rows", type=int, default=0,
+                         help="backpressure bound on queued rows "
+                              "(0 = unbounded)")
+    p_serve.add_argument("--shed-policy", default="reject",
+                         choices=["reject", "shed_oldest"],
+                         help="what to do when --max-queue-rows is hit")
+    p_serve.add_argument("--watchdog-s", type=float, default=None,
+                         help="per-wave stall bound for the threaded "
+                              "executor (default: executor's own, 60s)")
+    p_serve.add_argument("--faults", default=None,
+                         help="deterministic fault schedule, e.g. "
+                              "'exception:wave=1;latency:rate=0.1:duration=0.01' "
+                              "(kinds: exception, latency, stall)")
     p_serve.add_argument("--pace", type=float, default=0.0,
                          help="simulated-device pacing scale: each GEMM "
                               "occupies its slot for pace x the cost-model "
@@ -384,6 +404,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.pace < 0:
         print("error: --pace must be >= 0", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.deadline_s is not None and args.deadline_s < 0:
+        print("error: --deadline-s must be >= 0", file=sys.stderr)
+        return 2
+    if args.max_queue_rows < 0:
+        print("error: --max-queue-rows must be >= 0", file=sys.stderr)
+        return 2
     from repro.gpu.device import V100
 
     placement = Placement(args.placement, (V100,) * args.devices)
@@ -399,16 +428,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         dtype=np.dtype(args.dtype),
         names=names,
     )
-    server = model.serve(
-        executor=args.executor, workers=args.workers,
-        pace=args.pace if args.pace > 0 else None,
-    )
+    try:
+        server = model.serve(
+            executor=args.executor, workers=args.workers,
+            pace=args.pace if args.pace > 0 else None,
+            max_retries=args.max_retries,
+            max_queue_rows=args.max_queue_rows,
+            shed_policy=args.shed_policy,
+            watchdog_s=args.watchdog_s,
+            faults=args.faults,
+        )
+    except ValueError as exc:  # e.g. a malformed --faults spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from repro.runtime.server import QueueFullError
+
     rng = np.random.default_rng(args.seed + 1)
     k = weights[0].shape[0]
+    rejected = 0
     for _ in range(args.requests):
-        server.submit(rng.standard_normal((args.rows, k)).astype(args.dtype))
-    server.flush()
+        x = rng.standard_normal((args.rows, k)).astype(args.dtype)
+        try:
+            server.submit(x, deadline_s=args.deadline_s)
+        except QueueFullError:
+            rejected += 1
+    served = server.flush()
     st = server.stats
+    by_status: dict[str, int] = {}
+    for req in served:
+        by_status[req.status] = by_status.get(req.status, 0) + 1
     rows = [
         ["model", f"{args.model} ({model.n_layers} layers, scale 1/{args.scale})"],
         ["achieved sparsity", model.achieved_sparsity],
@@ -428,7 +476,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["wall time (measured)", f"{st.wall_time_s * 1e3:.3f} ms"],
         ["measured speedup (busy/wall)", f"{st.measured_speedup():.2f}x"],
         ["parallel efficiency", f"{st.parallel_efficiency():.2f}"],
+        ["statuses", " ".join(
+            f"{k}:{v}" for k, v in sorted(by_status.items())
+        ) or "-"],
     ]
+    if rejected:
+        rows.append(["rejected at submit (queue full)", rejected])
+    if st.retries or st.requeues or st.poisoned:
+        rows.append(["retries (wave re-runs)", st.retries])
+        rows.append(["requeued requests", st.requeues])
+        rows.append(["poisoned (isolated)", st.poisoned])
+    if st.shed or st.expired:
+        rows.append(["shed (backpressure)", st.shed])
+        rows.append(["expired (deadline)", st.expired])
+    if server.config.faults is not None:
+        rows.append(["faults injected", server.config.faults.total_fired])
     for name in sorted(st.device_gemms):
         rows.append([
             f"  {name}",
@@ -454,6 +516,7 @@ def _info_record() -> dict:
     from repro.gpu.device import V100
     from repro.patterns.registry import available_engines, available_patterns
     from repro.runtime.executor import EXECUTORS
+    from repro.runtime.faults import FAULTS
     from repro.runtime.placement import PLACEMENTS
 
     return {
@@ -465,6 +528,7 @@ def _info_record() -> dict:
             "engines": available_engines(),
             "placements": PLACEMENTS.names(),
             "executors": EXECUTORS.names(),
+            "faults": FAULTS.names(),
             "schedules": SCHEDULES.names(),
             "importance": IMPORTANCE.names(),
         },

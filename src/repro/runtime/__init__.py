@@ -32,11 +32,16 @@ Modules
 - :mod:`repro.runtime.executor` — pluggable wave executors
   (``inline`` / ``threaded``): how the placement's device→work mapping
   actually runs in wall-time (bit-identical outputs either way);
+- :mod:`repro.runtime.faults` — seeded, deterministic fault injection
+  (``exception`` / ``latency`` / ``stall``) keyed by
+  ``(wave, layer, slot)`` sites, for chaos testing the serving path;
 - :mod:`repro.runtime.server` — :class:`TWModelServer`, the serving layer
   that caches formats/plans per weight fingerprint, micro-batches
-  concurrent requests into one GEMM per layer, and dispatches waves
-  across a :class:`~repro.runtime.placement.Placement`'s devices through
-  the configured :class:`~repro.runtime.executor.Executor`.
+  concurrent requests into one GEMM per layer, dispatches waves across a
+  :class:`~repro.runtime.placement.Placement`'s devices through the
+  configured :class:`~repro.runtime.executor.Executor`, and degrades
+  gracefully under faults and overload (retry + poison isolation,
+  deadline shedding, queue backpressure).
 """
 
 from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
@@ -48,6 +53,14 @@ from repro.runtime.executor import (
     available_executors,
     resolve_executor,
 )
+from repro.runtime.faults import (
+    FAULTS,
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    available_faults,
+    resolve_faults,
+)
 from repro.runtime.layout import TransposePlan, transpose_cost
 from repro.runtime.batching import BatchGroup, batching_plan
 from repro.runtime.placement import PLACEMENTS, Placement, resolve_placement
@@ -58,6 +71,7 @@ from repro.runtime.scheduler import (
     build_execution_plan,
 )
 from repro.runtime.server import (
+    QueueFullError,
     ServedRequest,
     ServerConfig,
     ServerStats,
@@ -75,6 +89,13 @@ __all__ = [
     "ThreadedExecutor",
     "available_executors",
     "resolve_executor",
+    "FAULTS",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "available_faults",
+    "resolve_faults",
+    "QueueFullError",
     "InferenceEngine",
     "EngineConfig",
     "LayerPlan",

@@ -41,6 +41,21 @@ Sleeping releases the GIL, so paced slots overlap in *measured* wall-time
 exactly as the simulated devices would — which is what turns the modeled
 ``critical_path_s()`` bound into an observable quantity even on
 single-core CI hosts where concurrent compute cannot speed up.
+
+Fault tolerance (ISSUE 6)
+-------------------------
+A :class:`WaveTask` may carry a
+:class:`~repro.runtime.faults.FaultInjector`; both executors consult it
+before every step, so a seeded fault schedule replays identically across
+executors.  Failures — injected or genuine — are *recorded* on the wave's
+:class:`WaveResult` rather than raised, and the hardened ``threaded``
+driver additionally runs a **watchdog**: a wave that fails to finish
+within ``watchdog_s`` (e.g. a stalled worker) is failed with
+:class:`TimeoutError` and its worker is respawned, so ``run`` — and
+therefore ``TWModelServer.flush`` — never hangs on a dead thread.  Worker
+loops survive arbitrary errors (including non-``Exception``
+``BaseException``\\ s): any error in a wave's bookkeeping fails that wave
+visibly instead of silently killing the thread.
 """
 
 from __future__ import annotations
@@ -55,6 +70,7 @@ import numpy as np
 from repro.formats.tiled import TiledTWMatrix
 from repro.kernels.masked import tw_gemm
 from repro.patterns.registry import Registry
+from repro.runtime.faults import FaultInjector
 from repro.runtime.scheduler import ExecutionPlan
 
 __all__ = [
@@ -92,11 +108,19 @@ class WaveStep:
 
 @dataclass(frozen=True)
 class WaveTask:
-    """One micro-batch wave: stacked activations + its device-tagged steps."""
+    """One micro-batch wave: stacked activations + its device-tagged steps.
+
+    ``faults`` optionally carries the server's
+    :class:`~repro.runtime.faults.FaultInjector`: attaching the schedule
+    to the task (rather than the executor) keeps executors config-free and
+    guarantees both executors consult the same schedule at the same
+    ``(wave index, layer, slot)`` sites.
+    """
 
     index: int
     batch: np.ndarray
     steps: tuple[WaveStep, ...]
+    faults: FaultInjector | None = None
 
 
 @dataclass
@@ -120,14 +144,27 @@ class WaveResult:
     error: BaseException | None = None
 
 
-def _execute_steps(a: np.ndarray, steps, result: WaveResult) -> np.ndarray:
+def _execute_steps(
+    a: np.ndarray,
+    steps,
+    result: WaveResult,
+    *,
+    wave_index: int = 0,
+    faults: FaultInjector | None = None,
+) -> np.ndarray:
     """Run ``steps`` sequentially on ``a``, timing slot occupancy.
 
     Shared by both executors so the math — and therefore the output bits —
-    cannot diverge between them.
+    cannot diverge between them.  The optional fault injector is consulted
+    *inside* the timed region before each GEMM: an injected exception
+    fires before the math runs (a failing kernel launch), and an injected
+    latency spike shows up in the slot's busy accounting like any real
+    slow step would.
     """
     for step in steps:
         t0 = time.perf_counter()
+        if faults is not None:
+            faults.before_step(wave_index, step.layer, step.slot)
         a = tw_gemm(a, step.tw, plan=step.plan)
         if step.dwell_s > 0.0:
             remaining = step.dwell_s - (time.perf_counter() - t0)
@@ -181,8 +218,16 @@ class InlineExecutor(Executor):
             result = WaveResult(output=task.batch)
             results.append(result)
             try:
-                result.output = _execute_steps(task.batch, task.steps, result)
-            except Exception as exc:
+                result.output = _execute_steps(
+                    task.batch,
+                    task.steps,
+                    result,
+                    wave_index=task.index,
+                    faults=task.faults,
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise  # never swallow an interpreter-level shutdown
+            except BaseException as exc:
                 result.error = exc
                 result.done_at = time.perf_counter()
                 break  # stop pulling; the caller keeps the tail queued
@@ -225,17 +270,37 @@ class ThreadedExecutor(Executor):
         Bound on concurrently admitted waves (default ``2 ×`` the workers
         active in the run): enough to keep every pipeline stage busy,
         small enough to bound memory.
+    watchdog_s:
+        Wall-time bound on any single wave (default 60s).  A wave that has
+        not finished this long after launch is failed with
+        :class:`TimeoutError`, its worker thread is abandoned and a fresh
+        one is respawned on the same queue — so the driver never hangs on
+        a stalled or dead worker.  ``None``/``0`` disables the watchdog
+        (the historical unbounded wait).
     """
 
     name = "threaded"
 
-    def __init__(self, workers: int | None = None, inflight: int | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        inflight: int | None = None,
+        watchdog_s: float | None = 60.0,
+    ):
         if workers is not None and (not isinstance(workers, int) or workers < 1):
             raise ValueError(f"workers must be a positive int or None, got {workers!r}")
         if inflight is not None and (not isinstance(inflight, int) or inflight < 1):
             raise ValueError(f"inflight must be a positive int or None, got {inflight!r}")
+        if watchdog_s is not None:
+            watchdog_s = float(watchdog_s)
+            if not np.isfinite(watchdog_s) or watchdog_s < 0:
+                raise ValueError(
+                    f"watchdog_s must be finite and >= 0 (0/None disables), "
+                    f"got {watchdog_s!r}"
+                )
         self.workers = workers
         self.inflight = inflight
+        self.watchdog_s = watchdog_s or None  # 0 → disabled
         self._queues: list[queue.SimpleQueue] = []
         self._threads: list[threading.Thread] = []
         self._spawn_lock = threading.Lock()
@@ -248,8 +313,21 @@ class ThreadedExecutor(Executor):
         # stateless: every item carries its run's state, so one persistent
         # thread serves any number of (even interleaved) run() calls
         while True:
-            state, ti, seg_idx, a = q.get()
-            state.step(ti, seg_idx, a)
+            item = q.get()
+            try:
+                state, ti, seg_idx, a = item
+            except (TypeError, ValueError):
+                continue  # malformed item: drop it, keep the worker alive
+            try:
+                state.step(ti, seg_idx, a)
+            except BaseException as exc:
+                # step() guards the math itself; anything escaping here is
+                # a bookkeeping error — fail the wave visibly instead of
+                # letting it kill the thread silently (ISSUE 6 satellite)
+                try:
+                    state.fail(ti, exc)
+                except BaseException:
+                    pass  # never let error handling kill the worker
 
     def _ensure_workers(self, n: int) -> None:
         with self._spawn_lock:
@@ -261,6 +339,25 @@ class ThreadedExecutor(Executor):
                 self._queues.append(q)
                 self._threads.append(t)
                 t.start()
+
+    def _respawn(self, worker_idx: int) -> None:
+        """Replace an abandoned worker with a fresh thread on the same queue.
+
+        The stalled thread is left to run out as a daemon; any late writes
+        it attempts are discarded by the terminal-wave guard in
+        :class:`_ThreadedRun`.  Queued items survive on the ``SimpleQueue``,
+        so work behind the stall is picked up by the replacement.
+        """
+        with self._spawn_lock:
+            if worker_idx >= len(self._queues):
+                return
+            t = threading.Thread(
+                target=self._worker_loop,
+                args=(self._queues[worker_idx],),
+                daemon=True,
+            )
+            self._threads[worker_idx] = t
+            t.start()
 
     def run(self, tasks) -> list[WaveResult]:
         state = _ThreadedRun(self)
@@ -276,9 +373,16 @@ class ThreadedExecutor(Executor):
             worker_of[slot] = wi
             return wi
 
-        for task in tasks:  # lazy: pulls the next wave only when admitted
+        it = iter(tasks)
+        while True:  # lazy: pulls the next wave only when admitted
             if state.failed.is_set():
                 break  # leave the iterable's tail to the caller
+            # the failure check precedes the pull: a pulled task is always
+            # launched, so every task the iterable hands out gets a result
+            # (a task pulled then dropped would be silently lost work)
+            task = next(it, None)
+            if task is None:
+                break
             segs: list[tuple[int, list[WaveStep]]] = []
             for step in task.steps:
                 w = worker_for(step.slot)
@@ -289,7 +393,11 @@ class ThreadedExecutor(Executor):
             state.admit(self.inflight or 2 * n_active)
             state.launch(task, segs)
         for ev in state.done:
-            ev.wait()
+            # bounded wait: if a wave exceeds the watchdog it is failed
+            # (TimeoutError) and its event set by abandon_stalled(), so
+            # this loop — and the server's flush() above it — cannot hang
+            while not ev.wait(timeout=self.watchdog_s):
+                state.abandon_stalled()
         return state.results
 
 
@@ -298,7 +406,10 @@ class _ThreadedRun:
 
     Driver-owned lists are append-only, and workers only index entries
     appended before their queue item was put (the queue provides the
-    happens-before edge) — so no locking beyond the admission window.
+    happens-before edge).  A small lock guards the *terminal* flags and
+    result merging: once the watchdog abandons a wave, any late writes
+    from its (still running) original thread are discarded, so an
+    abandoned thread can never corrupt a result the server already read.
     """
 
     def __init__(self, executor: ThreadedExecutor) -> None:
@@ -306,61 +417,183 @@ class _ThreadedRun:
         self.segments: list[list[tuple[int, list[WaveStep]]]] = []
         self.results: list[WaveResult] = []
         self.done: list[threading.Event] = []
+        self.tasks: list[WaveTask] = []
+        self.launched_at: list[float] = []
+        self.on_worker: list[int | None] = []
+        self.terminal: list[bool] = []
         self.failed = threading.Event()
+        self._lock = threading.Lock()
         self._window = threading.Condition()
         self._in_flight = 0
 
     def admit(self, limit: int) -> None:
-        """Block until the bounded in-flight wave window has room."""
-        with self._window:
-            while self._in_flight >= limit:
-                self._window.wait()
-            self._in_flight += 1
+        """Block until the bounded in-flight wave window has room.
+
+        The wait is watchdog-bounded: a stalled wave holding the window
+        open is abandoned (failed + worker respawned) instead of
+        deadlocking the driver before it ever reaches the final waits.
+        """
+        wd = self.executor.watchdog_s
+        while True:
+            with self._window:
+                if self._in_flight < limit:
+                    self._in_flight += 1
+                    return
+                self._window.wait(timeout=wd)
+                if self._in_flight < limit:
+                    self._in_flight += 1
+                    return
+            if wd:
+                self.abandon_stalled()
 
     def launch(self, task: WaveTask, segs: list[tuple[int, list[WaveStep]]]) -> None:
         ti = len(self.results)
         self.segments.append(segs)
         self.results.append(WaveResult(output=task.batch))
         self.done.append(threading.Event())
+        self.tasks.append(task)
+        self.launched_at.append(time.perf_counter())
+        self.on_worker.append(segs[0][0] if segs else None)
+        self.terminal.append(False)
         if segs:
             self.executor._queues[segs[0][0]].put((self, ti, 0, task.batch))
         else:  # degenerate zero-layer wave: pass the batch through
             self.finish(ti)
 
     def step(self, ti: int, seg_idx: int, a) -> None:
-        """Execute one wave segment on a worker thread; forward or finish."""
+        """Execute one wave segment on a worker thread; forward or finish.
+
+        Accounting accumulates into a thread-local scratch result and is
+        merged under the lock only while the wave is non-terminal — an
+        abandoned thread's late merge is dropped on the floor.
+        """
         _, steps = self.segments[ti][seg_idx]
+        task = self.tasks[ti]
+        scratch = WaveResult(output=a)
+        error: BaseException | None = None
         try:
-            a = _execute_steps(a, steps, self.results[ti])
-        except Exception as exc:  # recorded; the caller decides to raise
-            self.results[ti].error = exc
+            a = _execute_steps(
+                a, steps, scratch, wave_index=task.index, faults=task.faults
+            )
+        except BaseException as exc:  # recorded; the caller decides to raise
+            error = exc
+        with self._lock:
+            if self.terminal[ti]:
+                return  # watchdog already failed this wave; discard quietly
+            result = self.results[ti]
+            for label, busy in scratch.busy_by_label.items():
+                result.busy_by_label[label] = (
+                    result.busy_by_label.get(label, 0.0) + busy
+                )
+            for label, n in scratch.gemms_by_label.items():
+                result.gemms_by_label[label] = (
+                    result.gemms_by_label.get(label, 0) + n
+                )
+            if error is not None:
+                result.error = error
+        if error is not None:
             self.finish(ti)
             return
         if seg_idx + 1 < len(self.segments[ti]):
             nxt = self.segments[ti][seg_idx + 1][0]
+            with self._lock:
+                if self.terminal[ti]:
+                    return
+                self.on_worker[ti] = nxt
             self.executor._queues[nxt].put((self, ti, seg_idx + 1, a))
         else:
             self.results[ti].output = a
             self.finish(ti)
 
+    def fail(self, ti: int, exc: BaseException) -> None:
+        """Record an error that escaped ``step``'s own guard, then finish."""
+        with self._lock:
+            if self.terminal[ti]:
+                return
+            self.results[ti].error = exc
+        self.finish(ti)
+
     def finish(self, ti: int) -> None:
-        if self.results[ti].error is not None:
-            self.failed.set()
+        """Mark a wave terminal exactly once (idempotent under the lock)."""
+        with self._lock:
+            if self.terminal[ti]:
+                return
+            self.terminal[ti] = True
+            if self.results[ti].error is not None:
+                self.failed.set()
         self.results[ti].done_at = time.perf_counter()
         self.done[ti].set()
         with self._window:
             self._in_flight -= 1
             self._window.notify()
 
+    def abandon_stalled(self) -> None:
+        """Fail every wave older than the watchdog; respawn its worker.
 
-EXECUTORS.register("inline", lambda **kw: InlineExecutor(), aliases=("serial",))
-EXECUTORS.register(
-    "threaded",
-    lambda workers=None, inflight=None, **kw: ThreadedExecutor(
-        workers=workers, inflight=inflight
-    ),
-    aliases=("threads",),
-)
+        Called from the driver when a bounded wait times out.  The stalled
+        wave gets a :class:`TimeoutError` and is marked terminal *before*
+        its event is set, so the original thread — still sleeping inside
+        the stalled step — finds ``terminal`` set when it eventually wakes
+        and discards its work.
+        """
+        wd = self.executor.watchdog_s
+        if not wd:
+            return
+        now = time.perf_counter()
+        stalled: list[tuple[int, int | None]] = []
+        with self._lock:
+            for ti in range(len(self.results)):
+                if self.terminal[ti] or now - self.launched_at[ti] <= wd:
+                    continue
+                self.terminal[ti] = True
+                self.results[ti].error = TimeoutError(
+                    f"wave {self.tasks[ti].index} stalled past the "
+                    f"{wd:g}s watchdog on worker {self.on_worker[ti]}"
+                )
+                self.failed.set()
+                stalled.append((ti, self.on_worker[ti]))
+        respawned: set[int] = set()
+        for ti, worker in stalled:
+            self.results[ti].done_at = now
+            self.done[ti].set()
+            with self._window:
+                self._in_flight -= 1
+                self._window.notify()
+            if worker is not None and worker not in respawned:
+                respawned.add(worker)
+                self.executor._respawn(worker)
+
+
+def _reject_options(name: str, options: dict) -> None:
+    """Fail loudly on options an executor does not accept.
+
+    The old ``**kw`` factories silently swallowed them —
+    ``EXECUTORS.create("inline", workers=3)`` looked like it worked while
+    the knob did nothing (ISSUE 6 satellite).
+    """
+    extra = {k: v for k, v in options.items() if v is not None}
+    if extra:
+        opts = ", ".join(f"{k}={v!r}" for k, v in sorted(extra.items()))
+        raise ValueError(f"executor {name!r} does not accept options: {opts}")
+
+
+def _make_inline(**options) -> InlineExecutor:
+    _reject_options("inline", options)
+    return InlineExecutor()
+
+
+def _make_threaded(
+    workers: int | None = None,
+    inflight: int | None = None,
+    watchdog_s: float | None = 60.0,
+    **options,
+) -> ThreadedExecutor:
+    _reject_options("threaded", options)
+    return ThreadedExecutor(workers=workers, inflight=inflight, watchdog_s=watchdog_s)
+
+
+EXECUTORS.register("inline", _make_inline, aliases=("serial",))
+EXECUTORS.register("threaded", _make_threaded, aliases=("threads",))
 
 
 def available_executors() -> list[str]:
@@ -373,24 +606,36 @@ def resolve_executor(
     *,
     workers: int | None = None,
     inflight: int | None = None,
+    watchdog_s: float | None = None,
 ) -> Executor:
     """Normalise an ``executor=`` argument to a ready :class:`Executor`.
 
-    Accepts a ready instance (``workers``/``inflight`` must then be
-    ``None`` — they belong to the instance), a registry name, or ``None``
-    (inline).
+    Accepts a ready instance (``workers``/``inflight``/``watchdog_s``
+    must then be ``None`` — they belong to the instance), a registry
+    name, or ``None`` (inline).  Only the options actually given are
+    forwarded, and factories reject options they do not accept —
+    ``resolve_executor("inline", workers=3)`` is an error, not a no-op.
     """
     if executor is None:
         executor = "inline"
     if isinstance(executor, Executor):
-        if workers is not None or inflight is not None:
+        if workers is not None or inflight is not None or watchdog_s is not None:
             raise ValueError(
-                "pass workers/inflight to the Executor constructor, "
-                "not alongside a ready instance"
+                "pass workers/inflight/watchdog_s to the Executor "
+                "constructor, not alongside a ready instance"
             )
         return executor
     if isinstance(executor, str):
-        return EXECUTORS.create(executor, workers=workers, inflight=inflight)
+        options = {
+            k: v
+            for k, v in (
+                ("workers", workers),
+                ("inflight", inflight),
+                ("watchdog_s", watchdog_s),
+            )
+            if v is not None
+        }
+        return EXECUTORS.create(executor, **options)
     raise TypeError(
         f"executor must be an Executor, name string or None, "
         f"got {type(executor).__name__}"

@@ -35,6 +35,17 @@ GEMMs.  :class:`TWModelServer` operationalises that split:
   requests/s throughput, per-device busy time/GEMM counts, measured flush
   wall-time (``wall_time_s`` / ``parallel_efficiency()``), and
   stream-imbalance diagnostics from the plans.
+- **Fault tolerance & SLOs** (ISSUE 6): every submitted request reaches a
+  *terminal* :attr:`ServedRequest.status` — ``ok``, ``failed`` (poison
+  isolated after retries/bisection), ``shed`` (backpressure) or
+  ``expired`` (deadline passed before execution).  ``flush()`` retries
+  failed waves up to ``max_retries`` and bisects deterministically
+  failing waves so one poison request cannot take down its wave-mates;
+  ``flush(strict=True)`` keeps the legacy fail-fast contract (first error
+  raises, failed wave's requests are dropped, tail stays queued).
+  ``ServerConfig(faults=...)`` wires a deterministic
+  :class:`~repro.runtime.faults.FaultInjector` through every wave for
+  chaos testing and recovery benchmarks.
 
 Execution order inside a layer follows the cached plan's stream issue
 order, so what the cost model prices (plan → batch → stream) is exactly
@@ -45,6 +56,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import math
 import time
 from collections import deque
 from dataclasses import InitVar, dataclass, field
@@ -59,16 +71,23 @@ from repro.runtime.executor import (
     WaveTask,
     resolve_executor,
 )
+from repro.runtime.faults import FaultInjector, resolve_faults
 from repro.runtime.placement import Placement
 from repro.runtime.scheduler import ExecutionPlan, build_execution_plan
 
 __all__ = [
+    "QueueFullError",
     "ServerConfig",
     "ServedRequest",
     "ServerStats",
     "TWModelServer",
     "weight_fingerprint",
 ]
+
+
+class QueueFullError(RuntimeError):
+    """Raised by ``submit`` when ``max_queue_rows`` is hit under the
+    ``reject`` shed policy (or when a single request can never fit)."""
 
 
 def _hash_array(h, tag: bytes, arr: np.ndarray) -> None:
@@ -134,9 +153,13 @@ class ServerConfig:
         ``max_batch_rows`` is still accepted as a constructor alias and
         readable as an attribute.
     queue_timeout_s:
-        Per-request latency budget; requests whose observed latency
-        (queueing + execution) exceeds it are counted in
-        ``stats.deadline_misses``.  ``0`` disables the accounting.
+        **Post-hoc SLO accounting only.**  Requests whose *observed*
+        latency (queueing + execution) exceeds this budget are counted in
+        ``stats.deadline_misses`` after they are served — they still run
+        and still return output.  ``0`` disables the accounting.  This is
+        distinct from per-request ``deadline_s`` (see
+        :meth:`TWModelServer.submit`), which *sheds* a request — no GEMM
+        ever runs for it — once its deadline passes.
     device:
         The single-device anchor (ignored when ``placement`` is given).
     placement:
@@ -150,13 +173,41 @@ class ServerConfig:
         bit-identical either way.
     workers:
         Worker-thread cap for ``threaded`` (``None`` = one per device
-        slot); ignored by ``inline``.
+        slot).  Passing it with an executor that has no workers
+        (``inline``) is an error, not a silent no-op.
     pace:
         Simulated-device pacing scale.  ``0`` (default) runs flat out;
         ``> 0`` makes every GEMM occupy its device slot for at least
         ``pace ×`` the cost model's predicted device time, so the
         *measured* ``wall_time_s`` reflects the placement's overlap on any
         host (sleeps release the GIL and overlap across slots).
+    max_retries:
+        Re-execution budget per failed wave group in a graceful
+        ``flush()`` (``0`` = no retries, failures go straight to
+        bisection/poison handling).  Ignored under ``flush(strict=True)``.
+    retry_backoff_s:
+        Base sleep before a failed group re-runs, doubled per attempt
+        (``backoff × 2^(attempt-1)``).  ``0`` (default) retries
+        immediately.
+    max_queue_rows:
+        Backpressure bound on queued activation rows (``0`` =
+        unbounded).  When a ``submit`` would exceed it, ``shed_policy``
+        decides: ``reject`` raises :class:`QueueFullError`; ``shed_oldest``
+        drops the oldest queued requests (they surface from the next
+        ``flush`` with ``status="shed"``) to make room.
+    shed_policy:
+        ``"reject"`` (default) or ``"shed_oldest"`` — see
+        ``max_queue_rows``.
+    watchdog_s:
+        Per-wave stall bound forwarded to the executor (``None`` =
+        executor default, 60s for ``threaded``).  Only meaningful for
+        executors with watchdogs; setting it with ``inline`` is an error.
+    faults:
+        Deterministic fault schedule for chaos testing — a
+        :class:`~repro.runtime.faults.FaultInjector`, a spec string
+        (``"exception:wave=1;latency:rate=0.1"``), or ``None`` (default).
+        Attached to every wave so both executors replay the same seeded
+        schedule.
     """
 
     granularity: int = 128
@@ -170,6 +221,12 @@ class ServerConfig:
     executor: str = "inline"
     workers: int | None = None
     pace: float = 0.0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.0
+    max_queue_rows: int = 0
+    shed_policy: str = "reject"
+    watchdog_s: float | None = None
+    faults: FaultInjector | str | None = None
     #: deprecated constructor alias for :attr:`max_wave_rows` (PR 2 name)
     max_batch_rows: InitVar[int | None] = None
 
@@ -214,6 +271,34 @@ class ServerConfig:
             raise ValueError(
                 f"pace must be finite and non-negative, got {self.pace!r}"
             )
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be a non-negative int, got {self.max_retries!r}"
+            )
+        if not np.isfinite(self.retry_backoff_s) or self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be finite and non-negative, "
+                f"got {self.retry_backoff_s!r}"
+            )
+        if not isinstance(self.max_queue_rows, int) or self.max_queue_rows < 0:
+            raise ValueError(
+                f"max_queue_rows must be a non-negative int (0 = unbounded), "
+                f"got {self.max_queue_rows!r}"
+            )
+        if self.shed_policy not in ("reject", "shed_oldest"):
+            raise ValueError(
+                f"shed_policy must be 'reject' or 'shed_oldest', "
+                f"got {self.shed_policy!r}"
+            )
+        if self.watchdog_s is not None and (
+            not np.isfinite(self.watchdog_s) or self.watchdog_s < 0
+        ):
+            raise ValueError(
+                f"watchdog_s must be finite and >= 0 or None, got {self.watchdog_s!r}"
+            )
+        # normalise once so the server (and repeated flushes) always see a
+        # ready injector; spec strings parse here, at configuration time
+        object.__setattr__(self, "faults", resolve_faults(self.faults))
 
     def resolved_placement(self) -> Placement:
         """The effective placement (``device`` wrapped as ``single``)."""
@@ -233,13 +318,32 @@ ServerConfig.max_batch_rows = property(
 
 @dataclass
 class ServedRequest:
-    """One completed request: its output plus observed latency."""
+    """One *terminal* request: output (when served) plus observed latency.
+
+    ``status`` is the terminal disposition every submitted request is
+    guaranteed to reach under a graceful ``flush()``:
+
+    - ``"ok"``      — served; ``output`` holds the result rows.
+    - ``"failed"``  — the request failed deterministically even alone
+      (poison, isolated by retry + bisection); ``error`` holds the last
+      failure, ``output`` is ``None``.
+    - ``"shed"``    — dropped by ``max_queue_rows`` backpressure under the
+      ``shed_oldest`` policy; ``output`` is ``None``.
+    - ``"expired"`` — its ``deadline_s`` passed before any GEMM ran;
+      ``output`` is ``None``.
+
+    ``latency_s`` is submit→terminal wall-time in every case; ``batch_id``
+    is the last wave that ran (or tried to run) the request, ``-1`` if it
+    never entered a wave.
+    """
 
     request_id: int
-    output: np.ndarray
+    output: np.ndarray | None
     rows: int
     latency_s: float
     batch_id: int
+    status: str = "ok"
+    error: BaseException | None = None
 
 
 #: per-request latencies retained for percentile-style inspection; older
@@ -268,6 +372,16 @@ class ServerStats:
     wall_time_s: float = 0.0
     latency_total_s: float = 0.0
     deadline_misses: int = 0
+    #: wave-group re-executions after a failure (graceful ``flush`` only)
+    retries: int = 0
+    #: requests put back in the work queue by a retry or bisection
+    requeues: int = 0
+    #: requests dropped by ``max_queue_rows`` backpressure (``shed_oldest``)
+    shed: int = 0
+    #: requests shed because their ``deadline_s`` passed before execution
+    expired: int = 0
+    #: requests isolated as poison (terminal ``status="failed"``)
+    poisoned: int = 0
     latencies_s: deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
     #: GEMM busy seconds attributed to each placement slot (``name#index``;
     #: two replicas of the same device model are distinct slots)
@@ -329,6 +443,23 @@ class _Layer:
     fingerprint: str
 
 
+@dataclass
+class _Pending:
+    """One queued request: activations plus its admission metadata.
+
+    ``deadline_at`` is an absolute ``perf_counter`` timestamp (``None`` =
+    no deadline); ``attempts`` counts failed wave executions this request
+    has been part of since its group last (re)formed — reset on bisection
+    so each half gets a fresh budget.
+    """
+
+    rid: int
+    x: np.ndarray
+    submitted_at: float
+    deadline_at: float | None = None
+    attempts: int = 0
+
+
 class TWModelServer:
     """Serve a stack of TW-pruned GEMM layers with cached plans.
 
@@ -343,14 +474,20 @@ class TWModelServer:
         self.config = config or ServerConfig()
         self.placement = self.config.resolved_placement()
         self.executor = resolve_executor(
-            self.config.executor, workers=self.config.workers
+            self.config.executor,
+            workers=self.config.workers,
+            watchdog_s=self.config.watchdog_s,
         )
         self.stats = ServerStats()
         self._layers: list[_Layer] = []
         self._formats: dict[tuple, TiledTWMatrix] = {}
         self._plans: dict[tuple, ExecutionPlan] = {}
         self._dwell: dict[tuple, float] = {}
-        self._pending: deque[tuple[int, np.ndarray, float]] = deque()
+        self._pending: deque[_Pending] = deque()
+        self._queued_rows = 0
+        #: requests shed at submit time (``shed_oldest``), surfaced by the
+        #: next ``flush`` so every request still reaches a terminal status
+        self._shed_buffer: list[ServedRequest] = []
         self._next_id = 0
         self._batch_id = 0
 
@@ -479,119 +616,369 @@ class TWModelServer:
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
-    def submit(self, x: np.ndarray) -> int:
-        """Queue one request's activations (``rows × K``); returns its id."""
+    def submit(self, x: np.ndarray, *, deadline_s: float | None = None) -> int:
+        """Queue one request's activations (``rows × K``); returns its id.
+
+        ``deadline_s`` is an optional latency budget, relative to now: a
+        request whose deadline passes before it executes is *shed* at the
+        next ``flush`` (terminal ``status="expired"``, no GEMM runs for
+        it), and waves assemble shortest-deadline-first.  Contrast with
+        ``queue_timeout_s``, which only counts misses post-hoc.
+
+        When ``max_queue_rows`` is configured and this submit would
+        exceed it, the ``shed_policy`` applies: ``reject`` raises
+        :class:`QueueFullError`; ``shed_oldest`` drops the oldest queued
+        requests to make room (they surface from the next ``flush`` with
+        ``status="shed"``).
+        """
         x = np.atleast_2d(np.asarray(x))
         if self._layers and x.shape[1] != self._layers[0].dense.shape[0]:
             raise ValueError(
                 f"request K={x.shape[1]} != model K={self._layers[0].dense.shape[0]}"
             )
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
+            if not np.isfinite(deadline_s) or deadline_s < 0:
+                raise ValueError(
+                    f"deadline_s must be finite and non-negative, got {deadline_s!r}"
+                )
+        now = time.perf_counter()
+        rows = x.shape[0]
+        bound = self.config.max_queue_rows
+        if bound:
+            if rows > bound:
+                raise QueueFullError(
+                    f"request of {rows} rows can never fit max_queue_rows={bound}"
+                )
+            if self._queued_rows + rows > bound:
+                if self.config.shed_policy == "reject":
+                    raise QueueFullError(
+                        f"queue holds {self._queued_rows} rows; admitting "
+                        f"{rows} more would exceed max_queue_rows={bound}"
+                    )
+                while self._pending and self._queued_rows + rows > bound:
+                    victim = self._pending.popleft()
+                    self._queued_rows -= victim.x.shape[0]
+                    self.stats.shed += 1
+                    self._shed_buffer.append(
+                        ServedRequest(
+                            request_id=victim.rid,
+                            output=None,
+                            rows=victim.x.shape[0],
+                            latency_s=now - victim.submitted_at,
+                            batch_id=-1,
+                            status="shed",
+                        )
+                    )
         rid = self._next_id
         self._next_id += 1
-        self._pending.append((rid, x, time.perf_counter()))
+        self._pending.append(
+            _Pending(
+                rid=rid,
+                x=x,
+                submitted_at=now,
+                deadline_at=None if deadline_s is None else now + deadline_s,
+            )
+        )
+        self._queued_rows += rows
         return rid
 
-    def flush(self) -> list[ServedRequest]:
+    def flush(self, strict: bool = False) -> list[ServedRequest]:
         """Run every queued request as micro-batched GEMMs (one per layer).
 
         Waves larger than ``max_wave_rows`` split into successive
-        micro-batches; requests never split across waves.  The placement
-        maps every wave's layers to device slots
-        (:meth:`~repro.runtime.placement.Placement.wave_slots`) and the
-        configured executor runs the whole wave list — sequentially under
-        ``inline``, overlapped across slots under ``threaded`` (replicated
-        waves run concurrently; ``layer_sharded`` waves stream through the
-        shard pipeline).  Outputs and their order are identical across
-        executors.
+        micro-batches; requests never split across waves, and waves
+        assemble shortest-deadline-first (FIFO among requests without
+        deadlines).  The placement maps every wave's layers to device
+        slots (:meth:`~repro.runtime.placement.Placement.wave_slots`) and
+        the configured executor runs the whole wave list — sequentially
+        under ``inline``, overlapped across slots under ``threaded``.
+        Outputs are bit-identical across executors.
+
+        **Graceful mode (default).**  Every queued request reaches a
+        terminal :attr:`ServedRequest.status` and nothing raises: expired
+        requests are shed before any GEMM runs for them; a failed wave
+        retries up to ``max_retries`` (with exponential
+        ``retry_backoff_s``); a wave still failing after its budget is
+        *bisected* so a deterministically-failing poison request
+        terminates alone with ``status="failed"`` instead of taking down
+        its wave-mates.  Results are returned sorted by request id.
+
+        **Strict mode** (``strict=True``) preserves the legacy fail-fast
+        contract: no retries, the first wave error re-raises after
+        accounting, the failed wave's requests are dropped, and the
+        unconsumed tail stays queued for a later flush.
         """
+        served: list[ServedRequest] = list(self._shed_buffer)
+        self._shed_buffer.clear()
         if not self._pending:
-            return []
-        # waves are built *lazily* as the executor admits them: requests
-        # leave the queue one wave at a time (bounded peak memory), and if
-        # execution fails the unconsumed tail stays queued for a retry.
-        # Caches are still resolved on the driver thread inside _wave_task,
-        # so busy_s times GEMM execution only and workers never race the
-        # cold construction path.
-        waves: list[list[tuple[int, np.ndarray, float]]] = []
-        wave_ids: list[int] = []
+            served.sort(key=lambda r: r.request_id)
+            return served
+        # drain the queue into wave groups: shortest-deadline-first; the
+        # sort is stable, so deadline-free traffic stays strictly FIFO
+        ordered = sorted(
+            self._pending,
+            key=lambda p: (
+                p.deadline_at if p.deadline_at is not None else math.inf
+            ),
+        )
+        self._pending.clear()
+        self._queued_rows = 0
+        work: deque[list[_Pending]] = deque()
+        group: list[_Pending] = []
+        rows = 0
+        for p in ordered:
+            r = p.x.shape[0]
+            if group and rows + r > self.config.max_wave_rows:
+                work.append(group)
+                group, rows = [], 0
+            group.append(p)
+            rows += r
+        if group:
+            work.append(group)
+        if strict:
+            self._flush_strict(work, served)
+        else:
+            self._flush_graceful(work, served)
+        served.sort(key=lambda r: r.request_id)
+        return served
+
+    def _run_waves(
+        self,
+        work: deque[list[_Pending]],
+        waves: list[list[_Pending]],
+        wave_ids: list[int],
+        *,
+        shed_expired_into: list[ServedRequest] | None = None,
+        build_failures: list | None = None,
+    ):
+        """One executor pass over the current work queue (lazy stream).
+
+        Waves are built as the executor admits them: requests leave
+        ``work`` one group at a time (bounded peak memory), and when
+        execution fails the executor stops pulling — the unconsumed tail
+        stays on ``work`` for the caller.  Caches are resolved on the
+        driver thread inside ``_wave_task``, so ``busy_s`` times GEMM
+        execution only.  The first wave is built *outside* the timed
+        region: it resolves every cold format/plan, so ``wall_time_s``
+        (and ``measured_speedup``/``parallel_efficiency``) stays an
+        execution measurement even on a cold server.
+        """
 
         def task_stream():
-            while self._pending:
-                wave: list[tuple[int, np.ndarray, float]] = []
-                rows = 0
-                while self._pending:
-                    r = self._pending[0][1].shape[0]
-                    if wave and rows + r > self.config.max_wave_rows:
-                        break
-                    wave.append(self._pending.popleft())
-                    rows += r
-                waves.append(wave)
-                task = self._wave_task(wave)
+            while work:
+                g = work.popleft()
+                if shed_expired_into is not None:
+                    g = self._shed_expired(g, shed_expired_into)
+                    if not g:
+                        continue
+                try:
+                    task = self._wave_task(g)
+                except Exception as exc:
+                    # wave assembly itself failed (e.g. a malformed
+                    # request breaks the concatenate): route the group
+                    # through the caller's failure handling instead of
+                    # blowing up the whole flush
+                    if build_failures is None:
+                        raise
+                    build_failures.append((g, exc))
+                    continue
+                waves.append(g)
                 wave_ids.append(task.index)
                 yield task
 
-        # the first wave is built *outside* the timed region: it resolves
-        # every cold format/plan on the driver thread, so wall_time_s (and
-        # measured_speedup / parallel_efficiency) stays an execution
-        # measurement even on a cold server
         stream = task_stream()
-        first = next(stream)
+        first = next(stream, None)
+        if first is None:  # everything left had already expired
+            return []
         t0 = time.perf_counter()
         results = self.executor.run(itertools.chain((first,), stream))
         self.stats.wall_time_s += time.perf_counter() - t0
-        served: list[ServedRequest] = []
+        return results
+
+    def _flush_strict(
+        self, work: deque[list[_Pending]], served: list[ServedRequest]
+    ) -> None:
+        """Legacy fail-fast path: first error raises, tail stays queued."""
+        waves: list[list[_Pending]] = []
+        wave_ids: list[int] = []
+        try:
+            results = self._run_waves(work, waves, wave_ids)
+        finally:
+            for g in work:  # unconsumed tail back onto the queue
+                for p in g:
+                    self._pending.append(p)
+                    self._queued_rows += p.x.shape[0]
+            work.clear()
         first_error: BaseException | None = None
-        for wave, batch_id, result in zip(waves, wave_ids, results):
-            # merge measured occupancy for all executed steps — including a
-            # failed wave's pre-failure work — so stats never lose busy time
-            for label, busy in result.busy_by_label.items():
-                self.stats.device_busy_s[label] = (
-                    self.stats.device_busy_s.get(label, 0.0) + busy
-                )
-                self.stats.busy_s += busy
-            for label, n in result.gemms_by_label.items():
-                self.stats.device_gemms[label] = (
-                    self.stats.device_gemms.get(label, 0) + n
-                )
-                self.stats.gemms += n
+        for g, batch_id, result in zip(waves, wave_ids, results):
+            self._merge_accounting(result)
             if result.error is not None:
                 if first_error is None:
                     first_error = result.error
                 continue  # this wave's requests are lost; tail stays queued
-            self.stats.batches += 1
-            offset = 0
-            for rid, x, t_submit in wave:
-                r = x.shape[0]
-                latency = result.done_at - t_submit
-                self.stats.requests += 1
-                self.stats.rows += r
-                self.stats.latency_total_s += latency
-                self.stats.latencies_s.append(latency)
-                if self.config.queue_timeout_s and latency > self.config.queue_timeout_s:
-                    self.stats.deadline_misses += 1
-                served.append(
-                    ServedRequest(
-                        request_id=rid,
-                        output=result.output[offset : offset + r],
-                        rows=r,
-                        latency_s=latency,
-                        batch_id=batch_id,
-                    )
-                )
-                offset += r
+            self._emit_ok(g, batch_id, result, served)
         if first_error is not None:
             raise first_error
-        return served
+
+    def _flush_graceful(
+        self, work: deque[list[_Pending]], served: list[ServedRequest]
+    ) -> None:
+        """Retry/bisect until every request reaches a terminal status.
+
+        Each failed group retries whole up to ``max_retries`` — retried
+        waves get *fresh* wave indices, so transient faults (wave-pinned
+        injections, flaky workers) clear on retry.  A group that exhausts
+        its budget with more than one request is bisected (fresh budgets
+        per half); a single request that still fails is the poison and
+        terminates alone.  Total work is bounded by
+        ``O(n · max_retries · log n)`` wave executions.
+        """
+        while work:
+            waves: list[list[_Pending]] = []
+            wave_ids: list[int] = []
+            build_failures: list[tuple[list[_Pending], BaseException]] = []
+            results = self._run_waves(
+                work,
+                waves,
+                wave_ids,
+                shed_expired_into=served,
+                build_failures=build_failures,
+            )
+            for g, batch_id, result in zip(waves, wave_ids, results):
+                self._merge_accounting(result)
+                if result.error is None:
+                    self._emit_ok(g, batch_id, result, served)
+                    continue
+                self._handle_failed_group(
+                    g, result.error, batch_id, result.done_at, work, served
+                )
+            for g, exc in build_failures:
+                self._handle_failed_group(g, exc, -1, 0.0, work, served)
+
+    def _handle_failed_group(
+        self,
+        g: list[_Pending],
+        error: BaseException,
+        batch_id: int,
+        done_at: float,
+        work: deque[list[_Pending]],
+        served: list[ServedRequest],
+    ) -> None:
+        """Retry, bisect, or poison-isolate one failed wave group."""
+        for p in g:
+            p.attempts += 1
+        attempts = g[0].attempts
+        if attempts <= self.config.max_retries:
+            self.stats.retries += 1
+            self.stats.requeues += len(g)
+            backoff = self.config.retry_backoff_s
+            if backoff > 0.0:
+                time.sleep(backoff * (2 ** (attempts - 1)))
+            work.append(g)
+        elif len(g) > 1:
+            # deterministic failure: bisect to isolate the poison; each
+            # half gets a fresh attempt budget
+            mid = len(g) // 2
+            self.stats.requeues += len(g)
+            for half in (g[:mid], g[mid:]):
+                for p in half:
+                    p.attempts = 0
+                work.append(half)
+        else:
+            p = g[0]
+            self.stats.poisoned += 1
+            served.append(
+                ServedRequest(
+                    request_id=p.rid,
+                    output=None,
+                    rows=p.x.shape[0],
+                    latency_s=(done_at or time.perf_counter()) - p.submitted_at,
+                    batch_id=batch_id,
+                    status="failed",
+                    error=error,
+                )
+            )
+
+    def _merge_accounting(self, result) -> None:
+        """Merge one wave's measured occupancy — including a failed wave's
+        pre-failure work — so stats never lose busy time."""
+        for label, busy in result.busy_by_label.items():
+            self.stats.device_busy_s[label] = (
+                self.stats.device_busy_s.get(label, 0.0) + busy
+            )
+            self.stats.busy_s += busy
+        for label, n in result.gemms_by_label.items():
+            self.stats.device_gemms[label] = (
+                self.stats.device_gemms.get(label, 0) + n
+            )
+            self.stats.gemms += n
+
+    def _emit_ok(
+        self,
+        group: list[_Pending],
+        batch_id: int,
+        result,
+        served: list[ServedRequest],
+    ) -> None:
+        """Slice one successful wave's output back into per-request results."""
+        self.stats.batches += 1
+        offset = 0
+        for p in group:
+            r = p.x.shape[0]
+            latency = result.done_at - p.submitted_at
+            self.stats.requests += 1
+            self.stats.rows += r
+            self.stats.latency_total_s += latency
+            self.stats.latencies_s.append(latency)
+            if self.config.queue_timeout_s and latency > self.config.queue_timeout_s:
+                self.stats.deadline_misses += 1
+            served.append(
+                ServedRequest(
+                    request_id=p.rid,
+                    output=result.output[offset : offset + r],
+                    rows=r,
+                    latency_s=latency,
+                    batch_id=batch_id,
+                )
+            )
+            offset += r
+
+    def _shed_expired(
+        self, group: list[_Pending], served: list[ServedRequest]
+    ) -> list[_Pending]:
+        """Drop already-expired requests from a group before any GEMM runs."""
+        now = time.perf_counter()
+        keep: list[_Pending] = []
+        for p in group:
+            if p.deadline_at is not None and now >= p.deadline_at:
+                self.stats.expired += 1
+                served.append(
+                    ServedRequest(
+                        request_id=p.rid,
+                        output=None,
+                        rows=p.x.shape[0],
+                        latency_s=now - p.submitted_at,
+                        batch_id=-1,
+                        status="expired",
+                    )
+                )
+            else:
+                keep.append(p)
+        return keep
 
     def serve(self, x: np.ndarray) -> ServedRequest:
         """Submit one request and flush immediately."""
-        self.submit(x)
-        return self.flush()[-1]
+        rid = self.submit(x)
+        for req in self.flush():
+            if req.request_id == rid:
+                return req
+        raise RuntimeError(f"request {rid} did not reach a terminal status")
 
-    def _wave_task(self, wave: list[tuple[int, np.ndarray, float]]) -> WaveTask:
+    def _wave_task(self, wave: list[_Pending]) -> WaveTask:
         """Resolve one wave into device-tagged, plan-carrying work items."""
         dtype = np.dtype(self.config.dtype)
-        batch = np.concatenate([x for _, x, _ in wave], axis=0)
+        batch = np.concatenate([p.x for p in wave], axis=0)
         slots = self.placement.wave_slots(self._batch_id, self.n_layers)
         labels = self.placement.device_labels()
         steps = []
@@ -613,6 +1000,7 @@ class TWModelServer:
             index=self._batch_id,
             batch=batch.astype(dtype, copy=False),
             steps=tuple(steps),
+            faults=self.config.faults,
         )
         self._batch_id += 1
         return task

@@ -367,7 +367,10 @@ class TestExecutorInvariance:
         return server, server.flush()
 
     def _assert_executors_agree(self, layers, reqs, **cfg_kw):
-        inline_server, inline_out = self._serve_all(layers, reqs, **cfg_kw)
+        # workers is a threaded-only knob; inline now *rejects* it instead
+        # of silently ignoring it, so only the threaded build gets it
+        inline_kw = {k: v for k, v in cfg_kw.items() if k != "workers"}
+        inline_server, inline_out = self._serve_all(layers, reqs, **inline_kw)
         threaded_server, threaded_out = self._serve_all(
             layers, reqs, executor="threaded", **cfg_kw
         )
@@ -463,9 +466,12 @@ class TestExecutorInvariance:
         )
 
     def test_failed_wave_leaves_tail_queued_inline(self):
-        """A wave that errors mid-flush must not swallow the queue: the
-        executor pulls waves lazily, so unconsumed requests survive for a
-        retry flush (inline pulls one at a time -> deterministic tail)."""
+        """A wave that errors mid-flush must not swallow the queue: under
+        ``strict=True`` the executor pulls waves lazily, so unconsumed
+        requests survive for a retry flush (inline pulls one at a time ->
+        deterministic tail)."""
+        from repro.runtime.server import _Pending
+
         rng = np.random.default_rng(47)
         layers = self._chained(rng, 1)
         server = TWModelServer(ServerConfig(granularity=8, max_wave_rows=2))
@@ -475,10 +481,12 @@ class TestExecutorInvariance:
         good_after = rng.standard_normal((2, 24))
         server.submit(good_before)
         # a poison wave: bypass submit()'s K check so tw_gemm raises
-        server._pending.append((99, rng.standard_normal((2, 7)), 0.0))
+        server._pending.append(
+            _Pending(rid=99, x=rng.standard_normal((2, 7)), submitted_at=0.0)
+        )
         server.submit(good_after)
         with pytest.raises(ValueError):
-            server.flush()
+            server.flush(strict=True)
         # the wave after the poison one was never pulled: still queued
         assert len(server._pending) == 1
         # the completed wave's work is accounted even though flush raised
@@ -486,13 +494,15 @@ class TestExecutorInvariance:
         assert server.stats.requests == 1
         assert server.stats.gemms >= 1
         assert server.stats.wall_time_s > 0
-        (req,) = server.flush()
+        (req,) = server.flush(strict=True)
         solo = TWModelServer(ServerConfig(granularity=8))
         for dense, ck, rm in layers:
             solo.add_layer(dense, ck, rm)
         np.testing.assert_array_equal(req.output, solo.serve(good_after).output)
 
     def test_failed_wave_keeps_threaded_server_usable(self):
+        from repro.runtime.server import _Pending
+
         rng = np.random.default_rng(48)
         layers = self._chained(rng, 1)
         server = TWModelServer(ServerConfig(
@@ -500,11 +510,97 @@ class TestExecutorInvariance:
         ))
         for dense, ck, rm in layers:
             server.add_layer(dense, ck, rm)
-        server._pending.append((99, rng.standard_normal((2, 7)), 0.0))
+        server._pending.append(
+            _Pending(rid=99, x=rng.standard_normal((2, 7)), submitted_at=0.0)
+        )
         with pytest.raises(ValueError):
-            server.flush()
+            server.flush(strict=True)
         out = server.serve(rng.standard_normal((2, 24)))
         assert out.rows == 2  # the server survives a poisoned flush
+
+    def test_graceful_flush_isolates_poison_request(self):
+        """Default flush never raises: the poison request terminates alone
+        with status='failed' while its wave-mates are served bit-identical
+        to a fault-free run."""
+        from repro.runtime.server import _Pending
+
+        rng = np.random.default_rng(49)
+        layers = self._chained(rng, 1)
+        reqs = [rng.standard_normal((2, 24)) for _ in range(3)]
+        server = TWModelServer(
+            ServerConfig(granularity=8, max_wave_rows=64, max_retries=1)
+        )
+        for dense, ck, rm in layers:
+            server.add_layer(dense, ck, rm)
+        server.submit(reqs[0])
+        server.submit(reqs[1])
+        server._pending.append(
+            _Pending(rid=999, x=rng.standard_normal((2, 7)), submitted_at=0.0)
+        )
+        server.submit(reqs[2])
+        served = server.flush()
+        by_id = {s.request_id: s for s in served}
+        assert len(served) == 4  # every request reached a terminal status
+        assert by_id[999].status == "failed"
+        assert isinstance(by_id[999].error, ValueError)
+        assert server.stats.poisoned == 1
+        assert server.stats.retries >= 1
+        solo = TWModelServer(ServerConfig(granularity=8))
+        for dense, ck, rm in layers:
+            solo.add_layer(dense, ck, rm)
+        for rid, x in zip(sorted(r for r in by_id if r != 999), reqs):
+            assert by_id[rid].status == "ok"
+            np.testing.assert_array_equal(
+                by_id[rid].output, solo.serve(x).output
+            )
+
+    @pytest.mark.parametrize("executor", ["inline", "threaded"])
+    def test_mid_stream_failure_matches_fault_free_inline(self, executor):
+        """ISSUE 6 satellite: mid-stream step failure across executors ×
+        all placements — surviving outputs stay bit-identical to a
+        fault-free inline run and no request is silently lost."""
+        from repro.gpu.device import T4, V100
+        from repro.runtime.placement import Placement
+        from repro.runtime.server import _Pending
+
+        rng = np.random.default_rng(50)
+        layers = self._chained(rng, 2)
+        reqs = [rng.standard_normal((2, 24)) for _ in range(4)]
+        placements = [
+            None,
+            Placement("replicated", (V100, T4)),
+            Placement("layer_sharded", (V100, T4)),
+        ]
+        # fault-free inline oracle
+        oracle = TWModelServer(ServerConfig(granularity=8))
+        for dense, ck, rm in layers:
+            oracle.add_layer(dense, ck, rm)
+        want = {}
+        for x in reqs:
+            req = oracle.serve(x)
+            want[req.request_id] = req.output
+        for placement in placements:
+            server = TWModelServer(ServerConfig(
+                granularity=8, max_wave_rows=2, executor=executor,
+                placement=placement, max_retries=1,
+            ))
+            for dense, ck, rm in layers:
+                server.add_layer(dense, ck, rm)
+            rids = [server.submit(x) for x in reqs[:2]]
+            # poison injected mid-stream, then more good requests
+            server._pending.append(
+                _Pending(rid=777, x=rng.standard_normal((2, 7)), submitted_at=0.0)
+            )
+            rids += [server.submit(x) for x in reqs[2:]]
+            served = server.flush()
+            by_id = {s.request_id: s for s in served}
+            assert set(by_id) == set(rids) | {777}  # none silently lost
+            assert by_id[777].status == "failed"
+            for rid, want_rid in zip(rids, sorted(want)):
+                assert by_id[rid].status == "ok"
+                np.testing.assert_array_equal(
+                    by_id[rid].output, want[want_rid]
+                )
 
     def test_mid_stream_submissions_keep_round_robin_phase(self):
         """Waves keep their global index across flushes: a threaded server
