@@ -136,11 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--placement", default="single", choices=_PLACEMENTS)
     p_serve.add_argument("--executor", default="inline",
                          choices=available_executors(),
-                         help="wave executor: inline (sequential oracle) or "
-                              "threaded (device slots overlap in wall-time)")
+                         help="wave executor: inline (sequential oracle), "
+                              "threaded (worker threads overlap device "
+                              "slots) or process (worker processes over "
+                              "shared-memory weight arenas — real "
+                              "multi-core parallelism)")
     p_serve.add_argument("--workers", type=int, default=None,
-                         help="worker-thread cap for --executor threaded "
+                         help="worker cap for --executor threaded/process "
                               "(default: one per device slot)")
+    p_serve.add_argument("--cache-budget", type=int, default=0,
+                         help="LRU entry budget for the format/plan caches "
+                              "(0 = unbounded)")
     p_serve.add_argument("--max-retries", type=int, default=2,
                          help="re-execution budget per failed wave group "
                               "before bisection isolates the poison request")
@@ -155,12 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["reject", "shed_oldest"],
                          help="what to do when --max-queue-rows is hit")
     p_serve.add_argument("--watchdog-s", type=float, default=None,
-                         help="per-wave stall bound for the threaded "
-                              "executor (default: executor's own, 60s)")
+                         help="per-wave stall bound for the threaded/process "
+                              "executors (default: executor's own, 60s)")
     p_serve.add_argument("--faults", default=None,
                          help="deterministic fault schedule, e.g. "
                               "'exception:wave=1;latency:rate=0.1:duration=0.01' "
-                              "(kinds: exception, latency, stall)")
+                              "(kinds: exception, latency, stall, kill)")
+    p_serve.add_argument("--expect-all-ok", action="store_true",
+                         help="exit non-zero unless every request ends "
+                              "status=ok (CI smoke contract)")
     p_serve.add_argument("--pace", type=float, default=0.0,
                          help="simulated-device pacing scale: each GEMM "
                               "occupies its slot for pace x the cost-model "
@@ -413,6 +422,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_queue_rows < 0:
         print("error: --max-queue-rows must be >= 0", file=sys.stderr)
         return 2
+    if args.cache_budget < 0:
+        print("error: --cache-budget must be >= 0", file=sys.stderr)
+        return 2
     from repro.gpu.device import V100
 
     placement = Placement(args.placement, (V100,) * args.devices)
@@ -431,6 +443,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         server = model.serve(
             executor=args.executor, workers=args.workers,
+            cache_budget=args.cache_budget or None,
             pace=args.pace if args.pace > 0 else None,
             max_retries=args.max_retries,
             max_queue_rows=args.max_queue_rows,
@@ -446,13 +459,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed + 1)
     k = weights[0].shape[0]
     rejected = 0
-    for _ in range(args.requests):
-        x = rng.standard_normal((args.rows, k)).astype(args.dtype)
-        try:
-            server.submit(x, deadline_s=args.deadline_s)
-        except QueueFullError:
-            rejected += 1
-    served = server.flush()
+    try:
+        for _ in range(args.requests):
+            x = rng.standard_normal((args.rows, k)).astype(args.dtype)
+            try:
+                server.submit(x, deadline_s=args.deadline_s)
+            except QueueFullError:
+                rejected += 1
+        served = server.flush()
+    finally:
+        # deterministic teardown: worker pool down, arenas unlinked
+        server.close()
     st = server.stats
     by_status: dict[str, int] = {}
     for req in served:
@@ -497,6 +514,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{st.device_gemms[name]} GEMMs, {st.device_busy_s[name] * 1e3:.3f} ms",
         ])
     print(format_table(["metric", "value"], rows))
+    if args.expect_all_ok:
+        not_ok = sum(v for k, v in by_status.items() if k != "ok")
+        if not_ok or rejected or st.requests != args.requests:
+            print(
+                f"error: --expect-all-ok: {st.requests}/{args.requests} ok, "
+                f"{not_ok} non-ok, {rejected} rejected",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -30,10 +30,15 @@ Modules
 - :mod:`repro.runtime.placement` — multi-device placement policies
   (``single`` / ``replicated`` / ``layer_sharded``);
 - :mod:`repro.runtime.executor` — pluggable wave executors
-  (``inline`` / ``threaded``): how the placement's device→work mapping
-  actually runs in wall-time (bit-identical outputs either way);
+  (``inline`` / ``threaded`` / ``process``): how the placement's
+  device→work mapping actually runs in wall-time (bit-identical outputs
+  in every case; ``inline`` is the standing oracle);
+- :mod:`repro.runtime.arena` — shared-memory weight arenas for the
+  ``process`` executor: compacted formats and plan operands published to
+  ``/dev/shm`` once per cache fill, mapped zero-copy by worker processes,
+  refcounted and unlinked deterministically on server close;
 - :mod:`repro.runtime.faults` — seeded, deterministic fault injection
-  (``exception`` / ``latency`` / ``stall``) keyed by
+  (``exception`` / ``latency`` / ``stall`` / ``kill``) keyed by
   ``(wave, layer, slot)`` sites, for chaos testing the serving path;
 - :mod:`repro.runtime.server` — :class:`TWModelServer`, the serving layer
   that caches formats/plans per weight fingerprint, micro-batches
@@ -44,12 +49,15 @@ Modules
   deadline shedding, queue backpressure).
 """
 
+from repro.runtime.arena import ArenaRef, leaked_segments
 from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
 from repro.runtime.executor import (
     EXECUTORS,
     Executor,
     InlineExecutor,
+    ProcessExecutor,
     ThreadedExecutor,
+    WorkerCrashed,
     available_executors,
     resolve_executor,
 )
@@ -87,6 +95,10 @@ __all__ = [
     "EXECUTORS",
     "InlineExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
+    "WorkerCrashed",
+    "ArenaRef",
+    "leaked_segments",
     "available_executors",
     "resolve_executor",
     "FAULTS",

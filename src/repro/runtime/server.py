@@ -24,13 +24,19 @@ GEMMs.  :class:`TWModelServer` operationalises that split:
   waves across full-model replicas, ``layer_sharded`` splits the layer
   stack so each wave flows shard to shard.  The plan cache is already
   device-keyed, so sharding composes with it rather than replacing it.
-- **Pluggable execution** (ISSUE 4): the placement emits a device→work
-  mapping (:meth:`~repro.runtime.placement.Placement.wave_slots`) and an
+- **Pluggable execution** (ISSUE 4, extended ISSUE 7): the placement
+  emits a device→work mapping
+  (:meth:`~repro.runtime.placement.Placement.wave_slots`) and an
   :class:`~repro.runtime.executor.Executor` — ``inline`` (the sequential
-  oracle) or ``threaded`` (one worker per device slot, bounded wave
-  pipeline) — decides how those device-tagged work items overlap in
-  wall-time.  Outputs are bit-identical across executors; only wall-time
-  and the measured occupancy stats change.
+  oracle), ``threaded`` (one worker thread per device slot, bounded wave
+  pipeline) or ``process`` (one worker *process* per slot, weights
+  published to shared-memory arenas at cache-fill time so only small
+  wave descriptors cross the pickle boundary) — decides how those
+  device-tagged work items overlap in wall-time.  Outputs are
+  bit-identical across executors; only wall-time and the measured
+  occupancy stats change.  Caches (and the arenas hanging off them) are
+  bounded by ``ServerConfig(cache_budget=...)`` and torn down
+  deterministically by :meth:`TWModelServer.close`.
 - **Stats**: per-request latency, per-flush batch sizes, rows/s and
   requests/s throughput, per-device busy time/GEMM counts, measured flush
   wall-time (``wall_time_s`` / ``parallel_efficiency()``), and
@@ -58,15 +64,17 @@ import hashlib
 import itertools
 import math
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import InitVar, dataclass, field
 
 import numpy as np
 
 from repro.formats.tiled import TiledTWMatrix
 from repro.gpu.device import DeviceSpec, V100
+from repro.runtime import arena as _arena
 from repro.runtime.executor import (
     EXECUTORS,
+    Executor,
     WaveStep,
     WaveTask,
     resolve_executor,
@@ -88,6 +96,58 @@ __all__ = [
 class QueueFullError(RuntimeError):
     """Raised by ``submit`` when ``max_queue_rows`` is hit under the
     ``reject`` shed policy (or when a single request can never fit)."""
+
+
+class _LRUCache:
+    """Insertion/recency-ordered mapping with an entry budget.
+
+    ``budget=0`` means unbounded (the pre-ISSUE-7 behaviour).  Reads via
+    :meth:`get` and writes refresh recency; when a write pushes the cache
+    past its budget the least-recently-used entries are popped and handed
+    to ``on_evict(key, value)`` — the server uses that hook to count
+    evictions and release shared-memory arenas tied to evicted formats.
+    """
+
+    def __init__(self, budget: int = 0, on_evict=None) -> None:
+        self.budget = budget
+        self._on_evict = on_evict
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        hit = self._data.get(key)
+        if hit is not None:
+            self._data.move_to_end(key)
+        return hit
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        self._trim()
+
+    def setdefault(self, key, value):
+        hit = self.get(key)
+        if hit is not None:
+            return hit
+        self.put(key, value)
+        return value
+
+    def _trim(self) -> None:
+        while self.budget and len(self._data) > self.budget:
+            key, value = self._data.popitem(last=False)
+            if self._on_evict is not None:
+                self._on_evict(key, value)
+
+    def values(self):
+        return self._data.values()
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
 
 
 def _hash_array(h, tag: bytes, arr: np.ndarray) -> None:
@@ -167,10 +227,21 @@ class ServerConfig:
     executor:
         How placed waves execute in wall-time — an
         :data:`~repro.runtime.executor.EXECUTORS` registry name
-        (``inline``/``threaded``).  ``inline`` is the sequential oracle;
-        ``threaded`` runs one worker per device slot so replicated waves
-        and layer-sharded pipeline stages genuinely overlap.  Outputs are
-        bit-identical either way.
+        (``inline``/``threaded``/``process``).  ``inline`` is the
+        sequential oracle; ``threaded`` runs one worker thread per device
+        slot so replicated waves and layer-sharded pipeline stages overlap
+        wherever the GIL allows; ``process`` (ISSUE 7) runs one worker
+        *process* per slot with weights served from shared-memory arenas,
+        escaping the GIL entirely for real multi-core speedup.  Outputs
+        are bit-identical in every case.
+    cache_budget:
+        Entry budget shared by the format cache and the plan cache
+        (``0`` = unbounded, the historical behaviour).  When a cache
+        outgrows the budget its least-recently-used entries are evicted
+        (``stats.format_evictions``/``plan_evictions`` count them), and an
+        evicted format's shared-memory arena is released with it — with
+        ``process`` executors an unbounded cache is an unbounded
+        ``/dev/shm`` hazard, which is why this landed alongside them.
     workers:
         Worker-thread cap for ``threaded`` (``None`` = one per device
         slot).  Passing it with an executor that has no workers
@@ -219,6 +290,7 @@ class ServerConfig:
     device: DeviceSpec = V100
     placement: Placement | None = None
     executor: str = "inline"
+    cache_budget: int = 0
     workers: int | None = None
     pace: float = 0.0
     max_retries: int = 2
@@ -261,6 +333,11 @@ class ServerConfig:
                 f"{type(self.executor).__name__}"
             )
         object.__setattr__(self, "executor", EXECUTORS.canonical(self.executor))
+        if not isinstance(self.cache_budget, int) or self.cache_budget < 0:
+            raise ValueError(
+                f"cache_budget must be a non-negative int (0 = unbounded), "
+                f"got {self.cache_budget!r}"
+            )
         if self.workers is not None and (
             not isinstance(self.workers, int) or self.workers < 1
         ):
@@ -365,6 +442,9 @@ class ServerStats:
     format_misses: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
+    #: LRU entries dropped by a ``cache_budget`` (0 while unbounded)
+    format_evictions: int = 0
+    plan_evictions: int = 0
     busy_s: float = 0.0
     #: measured wall-clock seconds spent inside executor runs (``flush``);
     #: with a concurrent executor this is *less* than ``busy_s`` — the
@@ -478,10 +558,36 @@ class TWModelServer:
             workers=self.config.workers,
             watchdog_s=self.config.watchdog_s,
         )
+        if (
+            getattr(self.executor, "needs_arenas", False)
+            and not isinstance(self.config.executor, Executor)
+            and self.executor.workers is None
+        ):
+            # ISSUE 7 default: one worker process per device slot.  A
+            # bounded pool is what lets ``run`` spawn every worker up
+            # front and ``warm()`` handshake them, instead of discovering
+            # pool size lazily and paying a worker's interpreter boot
+            # (~hundreds of ms) inside the first multi-wave flush.  A
+            # ready instance passed by the caller is left exactly as
+            # configured.
+            self.executor.workers = len(self.placement.devices)
         self.stats = ServerStats()
         self._layers: list[_Layer] = []
-        self._formats: dict[tuple, TiledTWMatrix] = {}
-        self._plans: dict[tuple, ExecutionPlan] = {}
+        self._formats: _LRUCache = _LRUCache(
+            self.config.cache_budget, self._evict_format
+        )
+        self._plans: _LRUCache = _LRUCache(
+            self.config.cache_budget, self._evict_plan
+        )
+        #: arenas this server *owns* (placed, to be released): format key →
+        #: :class:`~repro.runtime.arena.ArenaRef`; populated lazily by
+        #: ``_wave_task`` only when the executor declares ``needs_arenas``
+        self._arenas: dict[tuple, _arena.ArenaRef] = {}
+        #: arena keys evicted from the format cache whose release is
+        #: deferred to the next quiescent point (flush boundary / close)
+        self._retired_arenas: list[tuple] = []
+        self._needs_arenas = bool(getattr(self.executor, "needs_arenas", False))
+        self._closed = False
         self._dwell: dict[tuple, float] = {}
         self._pending: deque[_Pending] = deque()
         self._queued_rows = 0
@@ -526,12 +632,18 @@ class TWModelServer:
         return self.placement.shard_labels(self.n_layers)
 
     def warm(self) -> None:
-        """Prebuild every layer's format and plans (optional cold-start hide)."""
+        """Prebuild every layer's format and plans (optional cold-start hide).
+
+        Also brings the executor's workers fully up (a blocking handshake
+        for the ``process`` pool, a no-op otherwise), so the first real
+        flush never pays worker-interpreter boot time.
+        """
         plan_devices = self.placement.plan_devices(self.n_layers)
         for layer, devices in zip(self._layers, plan_devices):
             tw = self._format_for(layer)
             for device in devices:
                 self._plan_for(layer, tw, device)
+        self.executor.warm()
 
     def preload(
         self,
@@ -562,6 +674,26 @@ class TWModelServer:
     # ------------------------------------------------------------------ #
     # caches
     # ------------------------------------------------------------------ #
+    def _evict_format(self, key: tuple, tw: TiledTWMatrix) -> None:
+        """LRU hook: count the eviction and *retire* the format's arena.
+
+        The release is deferred to the next ``flush()`` boundary (or
+        ``close()``) rather than done here: eviction can happen while a
+        wave that references this arena is still being assembled or
+        executed (a budget smaller than the layer count evicts within a
+        single wave), and a worker must never attend an already-unlinked
+        segment.  The arena layer refcounts by key, so a format that is
+        re-missed and re-placed before the deferred release lands simply
+        bumps the same segment's count — retire/re-place pairs always
+        balance and ``close()`` settles the remainder.
+        """
+        self.stats.format_evictions += 1
+        if self._arenas.pop(key, None) is not None:
+            self._retired_arenas.append(key)
+
+    def _evict_plan(self, key: tuple, plan: ExecutionPlan) -> None:
+        self.stats.plan_evictions += 1
+
     def _format_key(self, layer: _Layer) -> tuple:
         return (layer.fingerprint, "tw", self.config.granularity, self.config.dtype)
 
@@ -579,7 +711,7 @@ class TWModelServer:
             list(layer.row_masks),
             dtype=np.dtype(self.config.dtype),
         )
-        self._formats[key] = tw
+        self._formats.put(key, tw)
         return tw
 
     def _plan_key(self, layer: _Layer, device: DeviceSpec) -> tuple:
@@ -606,7 +738,7 @@ class TWModelServer:
             batching=self.config.batching,
             streams=self.config.streams,
         )
-        self._plans[key] = plan
+        self._plans.put(key, plan)
         return plan
 
     def stream_imbalance(self) -> list[float]:
@@ -709,6 +841,7 @@ class TWModelServer:
         accounting, the failed wave's requests are dropped, and the
         unconsumed tail stays queued for a later flush.
         """
+        self._release_retired_arenas()  # quiescent point: no waves in flight
         served: list[ServedRequest] = list(self._shed_buffer)
         self._shed_buffer.clear()
         if not self._pending:
@@ -975,6 +1108,42 @@ class TWModelServer:
                 return req
         raise RuntimeError(f"request {rid} did not reach a terminal status")
 
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Tear the server down deterministically (idempotent).
+
+        Shuts the executor's worker pool down (process workers get a
+        sentinel, a join, and escalation if they ignore it) and releases
+        every shared-memory arena this server placed — after ``close()``
+        returns, no ``/dev/shm`` segment owned by this server remains
+        linked, even if a worker crashed mid-wave (the arena layer's
+        owner-side refcounts don't depend on worker exits).  Serving after
+        ``close()`` simply re-misses the caches: formats recompact, and a
+        process executor would need a fresh instance.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.executor.close()
+        self._release_retired_arenas()
+        for key in list(self._arenas):
+            self._arenas.pop(key, None)
+            _arena.release(key)
+        self._formats.clear()
+        self._plans.clear()
+
+    def _release_retired_arenas(self) -> None:
+        while self._retired_arenas:
+            _arena.release(self._retired_arenas.pop())
+
+    def __enter__(self) -> "TWModelServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _wave_task(self, wave: list[_Pending]) -> WaveTask:
         """Resolve one wave into device-tagged, plan-carrying work items."""
         dtype = np.dtype(self.config.dtype)
@@ -986,6 +1155,19 @@ class TWModelServer:
             tw = self._format_for(layer)
             device = self.placement.devices[slot]
             plan = self._plan_for(layer, tw, device)
+            ref = None
+            if self._needs_arenas:
+                # place-at-cache-fill: the first wave that touches a format
+                # under a process executor publishes it (tiles + the plan's
+                # width-group operands) to shared memory; every later wave
+                # reuses the same segment and ships only this small ref.
+                # Group tile-ids are device-independent, so one plan's
+                # operands serve every device slot.
+                key = self._format_key(layer)
+                ref = self._arenas.get(key)
+                if ref is None:
+                    ref = _arena.place(key, tw, plans=(plan,))
+                    self._arenas[key] = ref
             steps.append(
                 WaveStep(
                     layer=li,
@@ -994,6 +1176,7 @@ class TWModelServer:
                     slot=slot,
                     label=labels[slot],
                     dwell_s=self._dwell_for(layer, tw, device, batch.shape[0]),
+                    arena=ref,
                 )
             )
         task = WaveTask(

@@ -57,6 +57,70 @@ class TestCaches:
         assert fp1 != weight_fingerprint(dense + 1.0, ck, rm)
 
 
+class TestCacheBudget:
+    def test_validation(self):
+        assert ServerConfig(cache_budget=0).cache_budget == 0
+        with pytest.raises(ValueError, match="cache_budget"):
+            ServerConfig(cache_budget=-1)
+        with pytest.raises(ValueError, match="cache_budget"):
+            ServerConfig(cache_budget=1.5)
+
+    def test_unbounded_never_evicts(self):
+        rng = np.random.default_rng(40)
+        server = _server(rng, n_layers=3)
+        server.serve(rng.standard_normal((2, 24)))
+        server.serve(rng.standard_normal((2, 24)))
+        assert server.stats.format_evictions == 0
+        assert server.stats.plan_evictions == 0
+
+    def test_budget_evicts_and_recomputes(self):
+        rng = np.random.default_rng(41)
+        server = _server(rng, n_layers=3, cache_budget=1)
+        server.serve(rng.standard_normal((2, 24)))
+        # each layer's fill pushed the previous layer out
+        assert server.stats.format_evictions == 2
+        assert server.stats.plan_evictions == 2
+        assert server.stats.format_misses == 3
+        server.serve(rng.standard_normal((2, 24)))
+        # nothing survives a budget of 1 across a 3-layer chain: all misses
+        assert server.stats.format_misses == 6
+        assert server.stats.format_hits == 0
+
+    def test_budget_covering_model_behaves_like_unbounded(self):
+        rng = np.random.default_rng(42)
+        server = _server(rng, n_layers=3, cache_budget=3)
+        server.serve(rng.standard_normal((2, 24)))
+        server.serve(rng.standard_normal((2, 24)))
+        assert server.stats.format_evictions == 0
+        assert server.stats.format_hits == 3
+
+    @pytest.mark.parametrize("executor", ["inline", "threaded", "process"])
+    def test_tiny_budget_serving_stays_bit_identical(self, executor):
+        rng = np.random.default_rng(43)
+        layers = [_pruned_layer(rng, 24, 24) for _ in range(3)]
+        batch = rng.standard_normal((4, 24))
+
+        oracle = TWModelServer(ServerConfig(granularity=8))
+        for layer in layers:
+            oracle.add_layer(*layer)
+        want = oracle.serve(batch)
+        assert want.status == "ok"
+
+        server = TWModelServer(
+            ServerConfig(granularity=8, cache_budget=1, executor=executor)
+        )
+        for layer in layers:
+            server.add_layer(*layer)
+        try:
+            got = server.serve(batch)
+            assert got.status == "ok"
+            np.testing.assert_array_equal(got.output, want.output)
+            assert server.stats.format_evictions >= 2
+        finally:
+            server.close()
+        oracle.close()
+
+
 class TestServing:
     def test_matches_reference_per_layer_chain(self):
         rng = np.random.default_rng(3)
