@@ -1,0 +1,149 @@
+"""Standalone load-generator harness for the async serving ingress.
+
+Drives a demo model through :class:`repro.runtime.ingress.ServingLoop`
+with the seeded traffic shapes from :mod:`repro.runtime.loadgen` — the
+same machinery `repro serve --continuous` and the ``server_ingress``
+BENCH section use — and prints (or writes) the JSON-ready result:
+
+    PYTHONPATH=src python benchmarks/loadgen.py --mode open \\
+        --rate 100 --duration 2 --arrival poisson
+    PYTHONPATH=src python benchmarks/loadgen.py --mode closed \\
+        --clients 8 --requests-per-client 16 --executor threaded
+
+Open loop: requests arrive on a seeded Poisson/fixed schedule
+regardless of completions, so percentiles reflect real queueing.
+Closed loop: N clients issue back-to-back requests; the achieved rate
+is the saturation throughput.  ``--mode both`` runs the closed loop
+first and offers the open loop at ``--load-fraction`` of the measured
+saturation rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    import repro
+
+from repro.api import demo_layer_stack
+from repro.runtime.ingress import ServingLoop
+from repro.runtime.loadgen import ARRIVALS, run_closed_loop, run_open_loop
+
+
+def build_loop(args) -> tuple[ServingLoop, list[np.ndarray]]:
+    """Compile the demo model and wrap a fresh server in a ServingLoop."""
+    weights, names = demo_layer_stack(
+        args.model, scale=args.scale, blocks=args.blocks, seed=args.seed
+    )
+    model = repro.compile(
+        weights,
+        pattern="tw",
+        sparsity=args.sparsity,
+        granularity=args.granularity,
+        dtype=np.dtype(args.dtype),
+        names=names,
+    )
+    loop = model.serve_async(
+        executor=args.executor,
+        stats_interval_s=args.stats_interval_s,
+        max_wave_rows=args.max_wave_rows,
+    )
+    loop.server.warm()
+    rng = np.random.default_rng(args.seed + 1)
+    xs = [
+        rng.standard_normal((args.rows, weights[0].shape[0])).astype(args.dtype)
+        for _ in range(32)
+    ]
+    return loop, xs
+
+
+async def run(args) -> dict:
+    record: dict = {}
+    if args.mode in ("closed", "both"):
+        loop, xs = build_loop(args)
+        async with loop:
+            closed = await run_closed_loop(
+                loop,
+                lambda i: xs[i % len(xs)],
+                clients=args.clients,
+                requests_per_client=args.requests_per_client,
+            )
+        record["closed"] = closed.record()
+        if args.mode == "both":
+            args.rate = round(
+                max(1.0, args.load_fraction * closed.achieved_rps), 1
+            )
+    if args.mode in ("open", "both"):
+        loop, xs = build_loop(args)  # fresh server: no cross-shape carryover
+        async with loop:
+            opened = await run_open_loop(
+                loop,
+                lambda i: xs[i % len(xs)],
+                rate=args.rate,
+                duration_s=args.duration,
+                arrival=args.arrival,
+                seed=args.seed + 2,
+                deadline_s=args.deadline_s,
+            )
+            record["server"] = loop.stats_record()
+        record["open"] = opened.record()
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="bert", choices=["bert", "vgg", "nmt"])
+    parser.add_argument("--mode", default="both", choices=["open", "closed", "both"])
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="offered req/s (open loop)")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="offered-load duration in seconds (open loop)")
+    parser.add_argument("--arrival", default="poisson", choices=list(ARRIVALS))
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent callers (closed loop)")
+    parser.add_argument("--requests-per-client", type=int, default=16)
+    parser.add_argument("--load-fraction", type=float, default=0.4,
+                        help="open-loop rate as a fraction of measured "
+                             "saturation (--mode both)")
+    parser.add_argument("--deadline-s", type=float, default=None)
+    parser.add_argument("--executor", default="inline",
+                        choices=["inline", "threaded", "process"])
+    parser.add_argument("--sparsity", type=float, default=0.75)
+    parser.add_argument("--granularity", "-G", type=int, default=64)
+    parser.add_argument("--scale", type=int, default=8)
+    parser.add_argument("--blocks", type=int, default=1)
+    parser.add_argument("--rows", type=int, default=8,
+                        help="activation rows per request")
+    parser.add_argument("--max-wave-rows", type=int, default=None,
+                        help="ingress admission cap (default: server config)")
+    parser.add_argument("--dtype", default="float32")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--stats-interval-s", type=float, default=0.0)
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="also write the record to PATH")
+    args = parser.parse_args()
+
+    record = asyncio.run(run(args))
+    text = json.dumps(record, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        args.json.write_text(text + "\n")
+    ok = all(
+        r.get("statuses", {}).get("ok", 0) == r.get("requests", 0)
+        for key, r in record.items()
+        if key in ("open", "closed")
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -454,6 +454,40 @@ class CompiledTWModel:
             server.preload(i, l.tw, l.plans)
         return server
 
+    def serve_async(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        max_wave_rows: int | None = None,
+        stats_interval_s: float = 0.0,
+        **serve_overrides,
+    ):
+        """An async continuous-batching ingress over this model.
+
+        Builds a :meth:`serve` server (same ``config``/override
+        semantics — ``executor=``, ``workers=``, ``faults=``, ...) and
+        wraps it in a :class:`~repro.runtime.ingress.ServingLoop` that
+        *owns* it: closing the loop closes the server.  Use it from an
+        event loop::
+
+            async with model.serve_async(executor="threaded") as loop:
+                served = await loop.submit(x, deadline_s=0.05)
+
+        ``max_wave_rows`` caps each admitted wave (default: the server
+        config's own cap); ``stats_interval_s > 0`` emits a periodic
+        one-line stats log.  Outputs are bit-identical to draining the
+        same requests sequentially through :meth:`serve`.
+        """
+        from repro.runtime.ingress import ServingLoop
+
+        server = self.serve(config, **serve_overrides)
+        return ServingLoop(
+            server,
+            max_wave_rows=max_wave_rows,
+            stats_interval_s=stats_interval_s,
+            owns_server=True,
+        )
+
     # ------------------------------------------------------------------ #
     # serialization
     # ------------------------------------------------------------------ #

@@ -178,11 +178,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shrink model dims by this factor (demo sizing)")
     p_serve.add_argument("--blocks", type=int, default=2,
                          help="encoder blocks (bert stack)")
-    p_serve.add_argument("--requests", type=int, default=16)
+    p_serve.add_argument("--requests", type=int, default=16,
+                         help="requests for the lock-step drain (ignored "
+                              "under --continuous, where --rate x --duration "
+                              "decides the offered load)")
     p_serve.add_argument("--rows", type=int, default=8,
                          help="activation rows per request")
     p_serve.add_argument("--dtype", default="float32")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--continuous", action="store_true",
+                         help="continuous-batching mode: stream requests "
+                              "through the async ingress (ServingLoop) on a "
+                              "seeded open-loop arrival schedule instead of "
+                              "one lock-step submit/flush drain")
+    p_serve.add_argument("--rate", type=float, default=50.0,
+                         help="offered request rate, req/s (--continuous)")
+    p_serve.add_argument("--duration", type=float, default=5.0,
+                         help="offered-load duration, seconds (--continuous)")
+    p_serve.add_argument("--arrival", default="poisson",
+                         choices=["poisson", "fixed"],
+                         help="open-loop arrival process (--continuous)")
+    p_serve.add_argument("--stats-json", default=None, metavar="PATH",
+                         help="dump the structured stats snapshot (queue "
+                              "depth, wave occupancy, per-device busy %%, "
+                              "cache hit rate, latency percentiles) as JSON")
+    p_serve.add_argument("--stats-interval-s", type=float, default=0.0,
+                         help="emit a one-line ingress stats log every N "
+                              "seconds during --continuous (0 = off)")
 
     p_info = sub.add_parser("info", help="device spec and calibration constants")
     p_info.add_argument("--json", action="store_true",
@@ -425,6 +447,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.cache_budget < 0:
         print("error: --cache-budget must be >= 0", file=sys.stderr)
         return 2
+    if args.continuous and (args.rate <= 0 or args.duration <= 0):
+        print("error: --continuous needs --rate > 0 and --duration > 0",
+              file=sys.stderr)
+        return 2
+    if args.stats_interval_s < 0:
+        print("error: --stats-interval-s must be >= 0", file=sys.stderr)
+        return 2
     from repro.gpu.device import V100
 
     placement = Placement(args.placement, (V100,) * args.devices)
@@ -454,6 +483,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:  # e.g. a malformed --faults spec
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.continuous:
+        return _serve_continuous(args, model, placement, server, weights)
     from repro.runtime.server import QueueFullError
 
     rng = np.random.default_rng(args.seed + 1)
@@ -514,6 +545,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{st.device_gemms[name]} GEMMs, {st.device_busy_s[name] * 1e3:.3f} ms",
         ])
     print(format_table(["metric", "value"], rows))
+    if args.stats_json:
+        _dump_stats_json(args.stats_json, server.stats_record())
     if args.expect_all_ok:
         not_ok = sum(v for k, v in by_status.items() if k != "ok")
         if not_ok or rejected or st.requests != args.requests:
@@ -523,6 +556,96 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    return 0
+
+
+def _dump_stats_json(path: str, record: dict) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"stats written to {path}")
+
+
+def _serve_continuous(args, model, placement, server, weights) -> int:
+    """``repro serve --continuous``: open-loop traffic through the ingress.
+
+    Streams a seeded arrival schedule (``--arrival``/``--rate``/
+    ``--duration``) through a :class:`ServingLoop` over the already-built
+    server, then reports loadgen percentiles (enqueue→terminal, queue
+    wait included) next to the server's own stats.
+    """
+    import asyncio
+
+    from repro.analysis import format_table
+    from repro.runtime.ingress import ServingLoop
+    from repro.runtime.loadgen import run_open_loop
+
+    rng = np.random.default_rng(args.seed + 1)
+    k = weights[0].shape[0]
+    xs = [
+        rng.standard_normal((args.rows, k)).astype(args.dtype)
+        for _ in range(32)
+    ]
+
+    async def run():
+        ingress = ServingLoop(
+            server,
+            stats_interval_s=args.stats_interval_s,
+            stats_log=print,
+        )
+        async with ingress:
+            result = await run_open_loop(
+                ingress,
+                lambda i: xs[i % len(xs)],
+                rate=args.rate,
+                duration_s=args.duration,
+                arrival=args.arrival,
+                seed=args.seed + 2,
+                deadline_s=args.deadline_s,
+            )
+            record = ingress.stats_record()
+        return result, record
+
+    try:
+        server.warm()  # executor workers + caches up before timed traffic
+        result, record = asyncio.run(run())
+    finally:
+        server.close()
+    rows = [
+        ["model", f"{args.model} ({model.n_layers} layers, scale 1/{args.scale})"],
+        ["placement", f"{placement.kind} x{placement.n_devices}"],
+        ["executor", server.executor.describe()],
+        ["arrival", f"{args.arrival} @ {args.rate:g} req/s x {args.duration:g}s"],
+        ["requests offered", result.requests],
+        ["achieved rate", f"{result.achieved_rps:.1f} req/s"],
+        ["rows/s (end to end)", f"{result.rows_per_s:.0f}"],
+        ["waves admitted", record["ingress"]["waves_admitted"]],
+        ["wave occupancy", f"{record['waves']['occupancy']:.3f}"],
+        ["latency p50/p95/p99", "{p50:.3f} / {p95:.3f} / {p99:.3f} ms".format(
+            **result.latency_ms
+        )],
+        ["queue wait mean", f"{result.queue_wait_ms['mean']:.3f} ms"],
+        ["service mean (GEMM wall)", f"{result.service_ms['mean']:.3f} ms"],
+        ["statuses", " ".join(
+            f"{k}:{v}" for k, v in sorted(result.statuses.items())
+        ) or "-"],
+    ]
+    if server.config.faults is not None:
+        rows.append(["faults injected", server.config.faults.total_fired])
+    print(format_table(["metric", "value"], rows))
+    if args.stats_json:
+        record["loadgen"] = result.record()
+        _dump_stats_json(args.stats_json, record)
+    if args.expect_all_ok and (result.requests == 0 or not result.all_ok):
+        not_ok = sum(v for k, v in result.statuses.items() if k != "ok")
+        print(
+            f"error: --expect-all-ok: {result.statuses.get('ok', 0)}"
+            f"/{result.requests} ok, {not_ok} non-ok",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

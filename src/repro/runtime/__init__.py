@@ -46,7 +46,15 @@ Modules
   :class:`~repro.runtime.placement.Placement`'s devices through the
   configured :class:`~repro.runtime.executor.Executor`, and degrades
   gracefully under faults and overload (retry + poison isolation,
-  deadline shedding, queue backpressure).
+  deadline shedding, queue backpressure);
+- :mod:`repro.runtime.ingress` — :class:`ServingLoop`, the asyncio
+  traffic layer: continuous batching over a live request stream (the
+  admission loop assembles the next wave from whatever is backlogged
+  the moment the executor frees up), bit-identical to a sequential
+  drain of the same stream;
+- :mod:`repro.runtime.loadgen` — seeded open/closed-loop load
+  generation (Poisson / fixed-rate arrivals) with latency percentiles,
+  driving :class:`ServingLoop` for benchmarks and the CLI.
 """
 
 from repro.runtime.arena import ArenaRef, leaked_segments
@@ -69,6 +77,7 @@ from repro.runtime.faults import (
     available_faults,
     resolve_faults,
 )
+from repro.runtime.ingress import IngressClosed, ServingLoop
 from repro.runtime.layout import TransposePlan, transpose_cost
 from repro.runtime.batching import BatchGroup, batching_plan
 from repro.runtime.placement import PLACEMENTS, Placement, resolve_placement
@@ -124,5 +133,7 @@ __all__ = [
     "ServerConfig",
     "ServerStats",
     "ServedRequest",
+    "ServingLoop",
+    "IngressClosed",
     "weight_fingerprint",
 ]

@@ -161,8 +161,12 @@ class WaveResult:
     """One executed wave: output + measured per-slot occupancy.
 
     ``busy_by_label``/``gemms_by_label`` are keyed by the placement's slot
-    labels (``name#slot``); ``done_at`` is the ``perf_counter`` timestamp
-    the wave finished (request latency = ``done_at - submit time``).
+    labels (``name#slot``); ``started_at``/``done_at`` are ``perf_counter``
+    timestamps bracketing the wave's executor service — ``started_at`` is
+    set when the wave is launched into its executor (first GEMM imminent),
+    so the server can split request latency (``done_at - submit time``)
+    into queue wait (``started_at - submit time``) and wave service
+    (``done_at - started_at``).
 
     ``error`` records a step failure instead of raising from the
     executor: the caller (the server) can then account the work that
@@ -173,6 +177,7 @@ class WaveResult:
     output: np.ndarray
     busy_by_label: dict[str, float] = field(default_factory=dict)
     gemms_by_label: dict[str, int] = field(default_factory=dict)
+    started_at: float = 0.0
     done_at: float = 0.0
     error: BaseException | None = None
 
@@ -271,7 +276,7 @@ class InlineExecutor(Executor):
     def run(self, tasks) -> list[WaveResult]:
         results = []
         for task in tasks:  # lazy: one wave materialised at a time
-            result = WaveResult(output=task.batch)
+            result = WaveResult(output=task.batch, started_at=time.perf_counter())
             results.append(result)
             try:
                 result.output = _execute_steps(
@@ -498,11 +503,12 @@ class _ThreadedRun:
 
     def launch(self, task: WaveTask, segs: list[tuple[int, list[WaveStep]]]) -> None:
         ti = len(self.results)
+        launched = time.perf_counter()
         self.segments.append(segs)
-        self.results.append(WaveResult(output=task.batch))
+        self.results.append(WaveResult(output=task.batch, started_at=launched))
         self.done.append(threading.Event())
         self.tasks.append(task)
-        self.launched_at.append(time.perf_counter())
+        self.launched_at.append(launched)
         self.on_worker.append(segs[0][0] if segs else None)
         self.terminal.append(False)
         if segs:
@@ -1038,10 +1044,11 @@ class _ProcessRun:
             if not segs or segs[-1][0] != w:
                 segs.append((w, []))
             segs[-1][1].append(step)
+        ti_launched = time.perf_counter()
         self.tasks.append(task)
-        self.results.append(WaveResult(output=task.batch))
+        self.results.append(WaveResult(output=task.batch, started_at=ti_launched))
         self.segments.append(segs)
-        self.launched_at.append(time.perf_counter())
+        self.launched_at.append(ti_launched)
         self.terminal.append(False)
         self.in_flight += 1
         if segs:

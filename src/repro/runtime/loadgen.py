@@ -1,0 +1,229 @@
+"""Seeded load generation for the async serving ingress.
+
+Two canonical traffic shapes drive a :class:`~repro.runtime.ingress.ServingLoop`:
+
+- **Open loop** (:func:`run_open_loop`): requests arrive on a
+  pre-computed schedule — Poisson (seeded exponential inter-arrivals)
+  or fixed-rate — *independent* of completions, so backlog builds when
+  the offered rate exceeds capacity and latency percentiles reflect
+  real queueing.
+- **Closed loop** (:func:`run_closed_loop`): ``clients`` concurrent
+  callers each issue their next request only after the previous one
+  completes.  With enough clients this saturates the server, so the
+  achieved rate *is* the saturation throughput.
+
+Both return a :class:`LoadResult` with p50/p95/p99 latency, the
+queue-wait/service split, and achieved throughput — JSON-ready via
+:meth:`LoadResult.record`.  Arrival schedules are deterministic per
+seed; actual wall-clock jitter comes only from the host scheduler.
+
+This module lives in the runtime package (not ``benchmarks/``) so the
+CLI's ``repro serve --continuous`` can import it from the installed
+package; ``benchmarks/loadgen.py`` wraps it with a standalone harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.runtime.ingress import ServingLoop
+from repro.runtime.server import ServedRequest
+
+__all__ = [
+    "ARRIVALS",
+    "LoadResult",
+    "arrival_times",
+    "latency_summary_ms",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+#: supported open-loop arrival processes
+ARRIVALS = ("poisson", "fixed")
+
+
+def arrival_times(
+    rate: float,
+    duration_s: float,
+    *,
+    arrival: str = "poisson",
+    seed: int = 0,
+) -> np.ndarray:
+    """Arrival offsets (seconds from start) for an open-loop run.
+
+    ``poisson`` draws exponential inter-arrival gaps at mean ``1/rate``
+    from a seeded generator — identical schedules per seed; ``fixed``
+    spaces arrivals exactly ``1/rate`` apart.  Offsets cover
+    ``[0, duration_s)``.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s!r}")
+    if arrival == "fixed":
+        return np.arange(0.0, duration_s, 1.0 / rate)
+    if arrival != "poisson":
+        raise ValueError(f"unknown arrival process {arrival!r}; use one of {ARRIVALS}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=max(16, int(rate * duration_s * 2)))
+    times = np.cumsum(gaps)
+    while times.size and times[-1] < duration_s:  # tail undershot: extend
+        more = np.cumsum(rng.exponential(1.0 / rate, size=gaps.size))
+        times = np.concatenate([times, times[-1] + more])
+    return times[times < duration_s]
+
+
+def latency_summary_ms(values_s: Sequence[float]) -> dict:
+    """mean/p50/p95/p99/max of a latency sample, in milliseconds."""
+    if not len(values_s):
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    v = np.asarray(values_s, dtype=np.float64) * 1e3
+    return {
+        "mean": round(float(v.mean()), 3),
+        "p50": round(float(np.percentile(v, 50)), 3),
+        "p95": round(float(np.percentile(v, 95)), 3),
+        "p99": round(float(np.percentile(v, 99)), 3),
+        "max": round(float(v.max()), 3),
+    }
+
+
+@dataclass
+class LoadResult:
+    """One load-generation run: traffic shape, outcomes, percentiles."""
+
+    mode: str  #: ``"open"`` or ``"closed"``
+    arrival: str | None  #: arrival process (open loop only)
+    offered_rps: float | None  #: offered request rate (open loop only)
+    duration_s: float  #: measured wall-clock from first submit to last result
+    requests: int
+    rows: int
+    statuses: dict[str, int]
+    achieved_rps: float
+    rows_per_s: float
+    latency_ms: dict
+    queue_wait_ms: dict
+    service_ms: dict
+    served: list[ServedRequest] = field(repr=False, default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.statuses.get("ok", 0) == self.requests
+
+    def record(self) -> dict:
+        """JSON-ready summary (drops the raw per-request results)."""
+        return {
+            "mode": self.mode,
+            "arrival": self.arrival,
+            "offered_rps": (
+                round(self.offered_rps, 2) if self.offered_rps is not None else None
+            ),
+            "duration_s": round(self.duration_s, 4),
+            "requests": self.requests,
+            "rows": self.rows,
+            "statuses": dict(self.statuses),
+            "achieved_rps": round(self.achieved_rps, 2),
+            "rows_per_s": round(self.rows_per_s, 2),
+            "latency_ms": self.latency_ms,
+            "queue_wait_ms": self.queue_wait_ms,
+            "service_ms": self.service_ms,
+        }
+
+
+def _summarise(
+    mode: str,
+    arrival: str | None,
+    offered_rps: float | None,
+    wall_s: float,
+    served: list[ServedRequest],
+) -> LoadResult:
+    statuses: dict[str, int] = {}
+    for r in served:
+        statuses[r.status] = statuses.get(r.status, 0) + 1
+    wall_s = max(wall_s, 1e-9)
+    return LoadResult(
+        mode=mode,
+        arrival=arrival,
+        offered_rps=offered_rps,
+        duration_s=wall_s,
+        requests=len(served),
+        rows=sum(r.rows for r in served),
+        statuses=statuses,
+        achieved_rps=len(served) / wall_s,
+        rows_per_s=sum(r.rows for r in served) / wall_s,
+        latency_ms=latency_summary_ms([r.latency_s for r in served]),
+        queue_wait_ms=latency_summary_ms([r.queue_wait_s for r in served]),
+        service_ms=latency_summary_ms(
+            [r.service_s for r in served if r.status == "ok"]
+        ),
+        served=served,
+    )
+
+
+async def run_open_loop(
+    ingress: ServingLoop,
+    make_request: Callable[[int], np.ndarray],
+    *,
+    rate: float,
+    duration_s: float,
+    arrival: str = "poisson",
+    seed: int = 0,
+    deadline_s: float | None = None,
+) -> LoadResult:
+    """Offer requests on a seeded arrival schedule; await all terminals.
+
+    ``make_request(i)`` supplies the ``i``-th request's activations.
+    Submissions never wait for completions (open loop): every arrival is
+    pushed at its scheduled offset via
+    :meth:`~repro.runtime.ingress.ServingLoop.submit_nowait`, then the
+    run gathers all outstanding futures.  The reported duration spans
+    first submission → last terminal result.
+    """
+    times = arrival_times(rate, duration_s, arrival=arrival, seed=seed)
+    start = time.perf_counter()
+    futures = []
+    for i, t in enumerate(times):
+        delay = start + float(t) - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        futures.append(ingress.submit_nowait(make_request(i), deadline_s=deadline_s))
+    served = list(await asyncio.gather(*futures))
+    wall = time.perf_counter() - start
+    return _summarise("open", arrival, rate, wall, served)
+
+
+async def run_closed_loop(
+    ingress: ServingLoop,
+    make_request: Callable[[int], np.ndarray],
+    *,
+    clients: int = 4,
+    requests_per_client: int = 16,
+    deadline_s: float | None = None,
+) -> LoadResult:
+    """``clients`` concurrent callers, each issuing back-to-back requests.
+
+    The achieved rate of a closed loop with enough clients is the
+    server's saturation throughput: every completion immediately offers
+    the next request, so the ingress always has work to admit.
+    """
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests_per_client must be positive")
+    start = time.perf_counter()
+
+    async def client(c: int) -> list[ServedRequest]:
+        out = []
+        for j in range(requests_per_client):
+            i = c * requests_per_client + j
+            out.append(
+                await ingress.submit(make_request(i), deadline_s=deadline_s)
+            )
+        return out
+
+    groups = await asyncio.gather(*(client(c) for c in range(clients)))
+    wall = time.perf_counter() - start
+    served = [r for g in groups for r in g]
+    return _summarise("closed", None, None, wall, served)

@@ -409,9 +409,17 @@ class ServedRequest:
     - ``"expired"`` — its ``deadline_s`` passed before any GEMM ran;
       ``output`` is ``None``.
 
-    ``latency_s`` is submit→terminal wall-time in every case; ``batch_id``
-    is the last wave that ran (or tried to run) the request, ``-1`` if it
-    never entered a wave.
+    ``latency_s`` is enqueue→terminal wall-time in every case — anchored
+    at the *enqueue* timestamp (``submit(..., enqueued_at=)``) when the
+    request arrived through an ingress queue, so time spent backlogged
+    before admission counts.  For ``"ok"`` requests it splits as
+    ``latency_s == queue_wait_s + service_s``: ``queue_wait_s`` is
+    enqueue→wave-launch (ingress backlog + server queue + any retry
+    churn before the wave that finally served it) and ``service_s`` is
+    that wave's executor service (GEMM wall time).  Non-``ok`` requests
+    never complete a wave, so the whole latency is queue wait
+    (``service_s == 0``).  ``batch_id`` is the last wave that ran (or
+    tried to run) the request, ``-1`` if it never entered a wave.
     """
 
     request_id: int
@@ -421,6 +429,8 @@ class ServedRequest:
     batch_id: int
     status: str = "ok"
     error: BaseException | None = None
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
 
 
 #: per-request latencies retained for percentile-style inspection; older
@@ -511,6 +521,85 @@ class ServerStats:
         if self.wall_time_s <= 0:
             return 0.0
         return self.critical_path_s() / self.wall_time_s
+
+    def percentile_latency_s(self, q: float) -> float:
+        """Latency percentile over the retained window (0.0 when empty).
+
+        Computed from :attr:`latencies_s`, the rolling
+        :data:`LATENCY_WINDOW`-deep deque of per-request enqueue→terminal
+        latencies — a long-lived server reports *recent* percentiles, not
+        lifetime ones.
+        """
+        if not self.latencies_s:
+            return 0.0
+        window = np.fromiter(self.latencies_s, dtype=np.float64)
+        return float(np.percentile(window, q))
+
+    def p50_latency_s(self) -> float:
+        return self.percentile_latency_s(50.0)
+
+    def p95_latency_s(self) -> float:
+        return self.percentile_latency_s(95.0)
+
+    def p99_latency_s(self) -> float:
+        return self.percentile_latency_s(99.0)
+
+    def record(self) -> dict:
+        """JSON-ready snapshot of every counter and derived metric.
+
+        The structured twin of the CLI's stats table: plain dicts of
+        numbers (no numpy scalars), safe to ``json.dump`` as-is.  The
+        server adds queue/wave/topology context on top of this in
+        :meth:`TWModelServer.stats_record`.
+        """
+        wall = self.wall_time_s
+        fmt_total = self.format_hits + self.format_misses
+        plan_total = self.plan_hits + self.plan_misses
+        return {
+            "requests": self.requests,
+            "rows": self.rows,
+            "gemms": self.gemms,
+            "rows_per_s": round(self.rows_per_s(), 2),
+            "requests_per_s": round(self.requests_per_s(), 2),
+            "latency_ms": {
+                "mean": round(self.mean_latency_s() * 1e3, 3),
+                "p50": round(self.p50_latency_s() * 1e3, 3),
+                "p95": round(self.p95_latency_s() * 1e3, 3),
+                "p99": round(self.p99_latency_s() * 1e3, 3),
+                "window": len(self.latencies_s),
+            },
+            "busy_s": round(self.busy_s, 6),
+            "wall_time_s": round(wall, 6),
+            "measured_speedup": round(self.measured_speedup(), 3),
+            "parallel_efficiency": round(self.parallel_efficiency(), 3),
+            "device_busy_pct": {
+                label: round(100.0 * busy / wall, 1) if wall > 0 else 0.0
+                for label, busy in sorted(self.device_busy_s.items())
+            },
+            "device_gemms": dict(sorted(self.device_gemms.items())),
+            "cache": {
+                "format_hits": self.format_hits,
+                "format_misses": self.format_misses,
+                "format_hit_rate": (
+                    round(self.format_hits / fmt_total, 4) if fmt_total else 0.0
+                ),
+                "format_evictions": self.format_evictions,
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+                "plan_hit_rate": (
+                    round(self.plan_hits / plan_total, 4) if plan_total else 0.0
+                ),
+                "plan_evictions": self.plan_evictions,
+            },
+            "slo": {
+                "deadline_misses": self.deadline_misses,
+                "retries": self.retries,
+                "requeues": self.requeues,
+                "shed": self.shed,
+                "expired": self.expired,
+                "poisoned": self.poisoned,
+            },
+        }
 
 
 @dataclass(frozen=True)
@@ -748,14 +837,27 @@ class TWModelServer:
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
-    def submit(self, x: np.ndarray, *, deadline_s: float | None = None) -> int:
+    def submit(
+        self,
+        x: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+        enqueued_at: float | None = None,
+    ) -> int:
         """Queue one request's activations (``rows × K``); returns its id.
 
-        ``deadline_s`` is an optional latency budget, relative to now: a
-        request whose deadline passes before it executes is *shed* at the
-        next ``flush`` (terminal ``status="expired"``, no GEMM runs for
-        it), and waves assemble shortest-deadline-first.  Contrast with
-        ``queue_timeout_s``, which only counts misses post-hoc.
+        ``deadline_s`` is an optional latency budget, relative to the
+        request's enqueue time: a request whose deadline passes before it
+        executes is *shed* at the next ``flush`` (terminal
+        ``status="expired"``, no GEMM runs for it), and waves assemble
+        shortest-deadline-first.  Contrast with ``queue_timeout_s``,
+        which only counts misses post-hoc.
+
+        ``enqueued_at`` is an optional ``perf_counter`` timestamp of when
+        the request *arrived* (defaults to now).  An ingress layer that
+        backlogs requests before admitting them passes its arrival stamp
+        here so reported latency includes ingress queue wait and the
+        deadline budget starts ticking at arrival, not admission.
 
         When ``max_queue_rows`` is configured and this submit would
         exceed it, the ``shed_policy`` applies: ``reject`` raises
@@ -775,6 +877,11 @@ class TWModelServer:
                     f"deadline_s must be finite and non-negative, got {deadline_s!r}"
                 )
         now = time.perf_counter()
+        arrival = now
+        if enqueued_at is not None:
+            arrival = float(enqueued_at)
+            if arrival > now:
+                raise ValueError("enqueued_at must not be in the future")
         rows = x.shape[0]
         bound = self.config.max_queue_rows
         if bound:
@@ -800,6 +907,7 @@ class TWModelServer:
                             latency_s=now - victim.submitted_at,
                             batch_id=-1,
                             status="shed",
+                            queue_wait_s=now - victim.submitted_at,
                         )
                     )
         rid = self._next_id
@@ -808,8 +916,8 @@ class TWModelServer:
             _Pending(
                 rid=rid,
                 x=x,
-                submitted_at=now,
-                deadline_at=None if deadline_s is None else now + deadline_s,
+                submitted_at=arrival,
+                deadline_at=None if deadline_s is None else arrival + deadline_s,
             )
         )
         self._queued_rows += rows
@@ -1021,15 +1129,17 @@ class TWModelServer:
         else:
             p = g[0]
             self.stats.poisoned += 1
+            latency = (done_at or time.perf_counter()) - p.submitted_at
             served.append(
                 ServedRequest(
                     request_id=p.rid,
                     output=None,
                     rows=p.x.shape[0],
-                    latency_s=(done_at or time.perf_counter()) - p.submitted_at,
+                    latency_s=latency,
                     batch_id=batch_id,
                     status="failed",
                     error=error,
+                    queue_wait_s=latency,
                 )
             )
 
@@ -1057,6 +1167,7 @@ class TWModelServer:
         """Slice one successful wave's output back into per-request results."""
         self.stats.batches += 1
         offset = 0
+        service = max(0.0, result.done_at - result.started_at)
         for p in group:
             r = p.x.shape[0]
             latency = result.done_at - p.submitted_at
@@ -1073,6 +1184,8 @@ class TWModelServer:
                     rows=r,
                     latency_s=latency,
                     batch_id=batch_id,
+                    queue_wait_s=max(0.0, latency - service),
+                    service_s=service,
                 )
             )
             offset += r
@@ -1094,6 +1207,7 @@ class TWModelServer:
                         latency_s=now - p.submitted_at,
                         batch_id=-1,
                         status="expired",
+                        queue_wait_s=now - p.submitted_at,
                     )
                 )
             else:
@@ -1107,6 +1221,39 @@ class TWModelServer:
             if req.request_id == rid:
                 return req
         raise RuntimeError(f"request {rid} did not reach a terminal status")
+
+    def stats_record(self) -> dict:
+        """Structured observability snapshot (ROADMAP item 5c, JSON-ready).
+
+        :meth:`ServerStats.record` plus the server-level context the bare
+        counters can't see: current queue depth, realised wave occupancy
+        (mean admitted rows vs ``max_wave_rows``), and the
+        executor/placement topology.  Safe to call at any quiescent point;
+        when an ingress loop polls it while a flush runs on another
+        thread, the snapshot is advisory (counters mid-update), which is
+        fine for dashboards and periodic logs.
+        """
+        st = self.stats
+        rec = st.record()
+        rec["queue"] = {
+            "depth_requests": len(self._pending),
+            "depth_rows": self._queued_rows,
+            "max_queue_rows": self.config.max_queue_rows,
+        }
+        mean_wave_rows = st.rows / st.batches if st.batches else 0.0
+        rec["waves"] = {
+            "count": st.batches,
+            "mean_rows": round(mean_wave_rows, 2),
+            "max_wave_rows": self.config.max_wave_rows,
+            "occupancy": (
+                round(mean_wave_rows / self.config.max_wave_rows, 4)
+                if self.config.max_wave_rows
+                else 0.0
+            ),
+        }
+        rec["executor"] = self.executor.describe()
+        rec["placement"] = f"{self.placement.kind} x{self.placement.n_devices}"
+        return rec
 
     # ------------------------------------------------------------------ #
     # lifecycle

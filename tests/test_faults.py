@@ -274,6 +274,76 @@ class TestChaosInvariant:
         assert run() == run()
 
 
+class TestChaosInvariantIngress:
+    """The continuous ingress preserves the chaos invariant (ISSUE 8).
+
+    Same schedules, same oracle, but requests stream through the asyncio
+    :class:`~repro.runtime.ingress.ServingLoop` with mid-stream arrivals
+    instead of one lock-step drain: every request still reaches a
+    terminal status and every ``ok`` output stays bit-identical to the
+    fault-free inline reference.
+    """
+
+    @staticmethod
+    def _stream(server, reqs, *, deadline_s=None):
+        import asyncio
+
+        from repro.runtime.ingress import ServingLoop
+
+        async def go():
+            async with ServingLoop(server, max_wave_rows=4) as loop:
+                futures = []
+                for i, x in enumerate(reqs):
+                    futures.append(loop.submit_nowait(x, deadline_s=deadline_s))
+                    if i % 2 == 1:  # mid-stream: arrivals during flushes
+                        await asyncio.sleep(0.001)
+                return list(await asyncio.gather(*futures))
+
+        return asyncio.run(go())
+
+    @pytest.mark.parametrize("spec,all_ok", CHAOS_SCHEDULES)
+    @pytest.mark.parametrize("executor", ["inline", "threaded"])
+    def test_ingress_recovers_from_schedule(self, executor, spec, all_ok):
+        layers = _layers(100)
+        reqs = _requests(101, n=6)
+        want = _oracle_outputs(layers, reqs)
+        server = _server(
+            layers,
+            executor=executor,
+            max_wave_rows=4,
+            max_retries=2,
+            watchdog_s=20.0 if executor == "threaded" else None,
+            faults=spec,
+        )
+        with server:
+            served = self._stream(server, reqs)
+        assert all(s.status in TERMINAL for s in served)
+        for s, ref in zip(served, want):
+            if all_ok:
+                assert s.status == "ok"
+            if s.status == "ok":
+                np.testing.assert_array_equal(s.output, ref)
+            else:
+                assert s.status == "failed"
+                assert isinstance(s.error, InjectedFault)
+
+    def test_ingress_deadline_expiry_under_faults(self):
+        # zero deadline: every request expires before any GEMM runs, even
+        # with a fault schedule attached — the ingress surfaces the same
+        # graceful terminal statuses the lock-step drain does
+        layers = _layers(108)
+        reqs = _requests(109, n=4)
+        server = _server(
+            layers,
+            max_wave_rows=4,
+            faults="exception:wave=0",
+        )
+        with server:
+            served = self._stream(server, reqs, deadline_s=0.0)
+        assert [s.status for s in served] == ["expired"] * len(reqs)
+        assert server.stats.expired == len(reqs)
+
+
 class TestPlacementsUnderFaults:
     @pytest.mark.parametrize("executor", ["inline", "threaded"])
     @pytest.mark.parametrize("placement_kind", ["replicated", "layer_sharded"])
