@@ -34,7 +34,9 @@ BASELINE = REPO / "BENCH_hotpaths.json"
 #: fields that identify a benchmark row — rows are matched by these, never
 #: by list position, so a changed sweep can't silently compare two
 #: different configs against each other
-_IDENTITY_FIELDS = ("m", "granularity", "sparsity", "dtype", "shape", "scale", "model")
+_IDENTITY_FIELDS = (
+    "m", "granularity", "sparsity", "dtype", "epilogue", "shape", "scale", "model"
+)
 
 
 def _row_label(value, index: int) -> str:

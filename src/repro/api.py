@@ -68,11 +68,23 @@ from repro.formats.csc import CSCMatrix
 from repro.formats.tiled import TiledTWMatrix
 from repro.gpu.device import DeviceSpec
 from repro.gpu.tw_kernel import TWShapeStats
+from repro.kernels.fusion import (
+    EPILOGUES,
+    EpilogueSpec,
+    apply_epilogue,
+    resolve_epilogue_spec,
+)
 from repro.kernels.masked import tw_gemm
 from repro.kernels.spmm import csc_left_spmm
 from repro.models.registry import GemmShape
 from repro.patterns.registry import PATTERNS, make_pattern, resolve_engine
-from repro.runtime.engine import EndToEndReport, EngineConfig, InferenceEngine, LayerPlan
+from repro.runtime.engine import (
+    EndToEndReport,
+    EngineConfig,
+    InferenceEngine,
+    LayerPlan,
+    engine_for_dtype,
+)
 from repro.runtime.placement import Placement, resolve_placement
 from repro.runtime.scheduler import ExecutionPlan, build_execution_plan
 from repro.runtime.server import ServerConfig, TWModelServer, weight_fingerprint
@@ -127,6 +139,7 @@ class CompiledLayer:
     row_masks: tuple[np.ndarray, ...] = ()
     tw: TiledTWMatrix | None = None
     plans: dict[DeviceSpec, ExecutionPlan] = field(default_factory=dict)
+    epilogue: EpilogueSpec | None = None
     fingerprint: str = ""
 
     @property
@@ -168,6 +181,7 @@ class PriceReport:
     sparse_gemm_us: float
     dense_gemm_us: float
     end_to_end: EndToEndReport | None = None
+    dtype: str = ""
 
     @property
     def gemm_speedup(self) -> float:
@@ -283,7 +297,13 @@ class CompiledTWModel:
     # ------------------------------------------------------------------ #
     # pricing (cost model)
     # ------------------------------------------------------------------ #
-    def price(self, m: int = 8192, infer: InferenceEngine | None = None) -> PriceReport:
+    def price(
+        self,
+        m: int = 8192,
+        infer: InferenceEngine | None = None,
+        *,
+        dtype: str | None = None,
+    ) -> PriceReport:
         """Cost-model latency of this model vs its dense baseline.
 
         Named-model compilations price the paper's full-size shape tables
@@ -291,30 +311,42 @@ class CompiledTWModel:
         compilations price each layer at ``m`` activation rows using the
         *real* compiled tile geometry (``TWShapeStats.from_matrix``), not a
         synthetic sparsity model.
+
+        ``dtype`` selects the cost model's precision axis: ``"float16"``
+        and ``"int8"`` price the tensor-core pipeline at 2-/1-byte traffic,
+        ``"float32"``/``"float64"`` the CUDA-core pipeline at 4-/8-byte
+        traffic (the engine follows
+        :func:`~repro.runtime.engine.engine_for_dtype`).  ``None`` keeps
+        the compiled ``engine`` and the engine's historical default width —
+        the pre-mixed-precision behaviour.
         """
+        engine = engine_for_dtype(dtype) if dtype else self.engine
         if self.model_name is not None and self._price_shapes is None:
             # named-model path: delegate to the latency experiment, which
             # shares dense-baseline memos across sweeps
             from repro.experiments.latency import end_to_end_report, gemm_speedup
 
             price_pattern = _PRICE_AS[self.pattern]
+            cfg = EngineConfig(engine=engine, dtype=dtype or "")
             speedup = gemm_speedup(
                 self.model_name, price_pattern, self.sparsity,
-                engine=self.engine, granularity=self.granularity, infer=infer,
+                engine=engine, granularity=self.granularity, infer=infer,
+                config=cfg,
             )
             rep = end_to_end_report(
                 self.model_name, price_pattern, self.sparsity,
-                EngineConfig(engine=self.engine),
+                cfg,
                 granularity=self.granularity, infer=infer,
             )
             return PriceReport(
                 label=self.model_name,
                 pattern=self.pattern,
-                engine=self.engine,
+                engine=engine,
                 m=0,
                 sparse_gemm_us=rep.gemm_us,
                 dense_gemm_us=rep.gemm_us * speedup,
                 end_to_end=rep,
+                dtype=dtype or "",
             )
         if m <= 0:
             raise ValueError(f"m must be positive, got {m}")
@@ -322,7 +354,7 @@ class CompiledTWModel:
 
         price_pattern = _PRICE_AS[self.pattern]
         infer = infer or InferenceEngine(device=self.placement.primary)
-        config = EngineConfig(engine=self.engine)
+        config = EngineConfig(engine=engine, dtype=dtype or "")
         baseline_cfg = baseline_engine_config(price_pattern, config)
         sparse_us = dense_us = 0.0
         for l in self.layers:
@@ -342,10 +374,11 @@ class CompiledTWModel:
         return PriceReport(
             label=self.model_name or f"{self.n_layers}-layer stack",
             pattern=self.pattern,
-            engine=self.engine,
+            engine=engine,
             m=m,
             sparse_gemm_us=sparse_us,
             dense_gemm_us=dense_us,
+            dtype=dtype or "",
         )
 
     # ------------------------------------------------------------------ #
@@ -358,10 +391,23 @@ class CompiledTWModel:
         compiled per-device plans (bit-identical to the hand-wired
         ``tw_prune → from_masks → build_execution_plan → tw_gemm``
         pipeline); mask-only patterns execute dense GEMM against the
-        mask-expanded weights.
+        mask-expanded weights.  A layer carrying an
+        :class:`~repro.kernels.fusion.EpilogueSpec` applies its *fused*
+        epilogue right after the GEMM (the layer's own input serves as the
+        residual stream for residual epilogues) — bit-identical in float64
+        to the unfused ``*_reference`` composition.
+
+        Activations are cast once, at entry, to the model's activation
+        dtype — the compiled ``dtype`` for float models, ``float32`` for
+        ``int8`` (weights-only quantisation keeps float activations) — so
+        ``run`` and ``serve`` execute the same numerics and stay
+        bit-identical.
         """
         self._require_weights("run")
         a = np.atleast_2d(np.asarray(x))
+        act = np.dtype("float32") if self.dtype.kind in "iu" else self.dtype
+        if a.dtype != act:
+            a = a.astype(act)
         if self.layers and a.shape[1] != self.layers[0].shape[0]:
             raise ValueError(
                 f"input K={a.shape[1]} != model K={self.layers[0].shape[0]}"
@@ -375,9 +421,10 @@ class CompiledTWModel:
                 )
             if l.tw is not None:
                 device = self.placement.device_for_layer(i, n)
-                a = tw_gemm(a, l.tw, plan=l.plans.get(device))
+                y = tw_gemm(a, l.tw, plan=l.plans.get(device))
             else:
-                a = a @ l.masked_dense()
+                y = a @ l.masked_dense()
+            a = apply_epilogue(y, l.epilogue, residual=a) if l.epilogue else y
         return a
 
     def serve(
@@ -424,9 +471,13 @@ class CompiledTWModel:
                 f"with pattern={self.pattern!r}"
             )
         if config is None:
+            quantized = self.dtype.kind in "iu"
             config = ServerConfig(
                 granularity=self.granularity,
-                dtype=str(self.dtype),
+                # int8 models store quantized tiles but serve float32
+                # activations (weights-only quantization, fp32 accumulate)
+                dtype="float32" if quantized else str(self.dtype),
+                storage_dtype=str(self.dtype) if quantized else "",
                 placement=self.placement,
             )
         overrides = {
@@ -450,7 +501,7 @@ class CompiledTWModel:
             config = dataclasses.replace(config, **overrides)
         server = TWModelServer(config)
         for i, l in enumerate(self.layers):
-            server.add_layer(l.dense, l.col_keep, list(l.row_masks))
+            server.add_layer(l.dense, l.col_keep, list(l.row_masks), epilogue=l.epilogue)
             server.preload(i, l.tw, l.plans)
         return server
 
@@ -516,7 +567,12 @@ class CompiledTWModel:
             "layer_names": [l.name for l in self.layers],
         }
         layers = [
-            {"tw": l.tw, "col_keep": l.col_keep, "row_masks": list(l.row_masks)}
+            {
+                "tw": l.tw,
+                "col_keep": l.col_keep,
+                "row_masks": list(l.row_masks),
+                "epilogue": _epilogue_dict(l.epilogue),
+            }
             for l in self.layers
         ]
         return save_compiled_arrays(path, meta, layers)
@@ -551,6 +607,7 @@ class CompiledTWModel:
                     row_masks=tuple(raw["row_masks"]),
                     tw=tw,
                     plans=_build_plans(tw, placement, i, n),
+                    epilogue=_epilogue_from_dict(raw.get("epilogue")),
                     fingerprint=weight_fingerprint(
                         dense, raw["col_keep"], list(raw["row_masks"])
                     ),
@@ -573,6 +630,72 @@ def _device_dict(d: DeviceSpec) -> dict:
     return dataclasses.asdict(d)
 
 
+def _epilogue_dict(spec: EpilogueSpec | None) -> dict | None:
+    """An :class:`EpilogueSpec` as the plain dict ``formats.io`` persists."""
+    if spec is None:
+        return None
+    return {
+        "name": spec.name,
+        "p": spec.p,
+        "seed": spec.seed,
+        "eps": spec.eps,
+        "bias": spec.bias,
+        "gamma": spec.gamma,
+        "beta": spec.beta,
+    }
+
+
+def _epilogue_from_dict(raw: dict | None) -> EpilogueSpec | None:
+    """Inverse of :func:`_epilogue_dict` (round-trips bit-exactly)."""
+    if raw is None:
+        return None
+    return EpilogueSpec(
+        name=raw["name"],
+        bias=raw.get("bias"),
+        gamma=raw.get("gamma"),
+        beta=raw.get("beta"),
+        p=float(raw["p"]),
+        seed=int(raw["seed"]),
+        eps=float(raw["eps"]),
+    )
+
+
+def _layer_epilogues(
+    epilogue, weights: list[np.ndarray], dtype
+) -> list[EpilogueSpec | None]:
+    """Resolve the ``epilogue=`` compile argument to one spec per layer.
+
+    Accepts ``None``, one name/:class:`EpilogueSpec` applied to every
+    layer, or a sequence with one entry (name/spec/``None``) per layer.
+    Neutral parameters (zero bias, unit gamma) are materialised at each
+    layer's output width in the pipeline's accumulation dtype.
+    """
+    if epilogue is None:
+        return [None] * len(weights)
+    if isinstance(epilogue, (str, EpilogueSpec)):
+        per_layer = [epilogue] * len(weights)
+    else:
+        per_layer = list(epilogue)
+        if len(per_layer) != len(weights):
+            raise ValueError(
+                f"{len(per_layer)} epilogue entries for {len(weights)} layers"
+            )
+    specs = [
+        resolve_epilogue_spec(e, n=w.shape[1], dtype=dtype or w.dtype)
+        for e, w in zip(per_layer, weights)
+    ]
+    for i, (spec, w) in enumerate(zip(specs, weights)):
+        if spec is None:
+            continue
+        if EPILOGUES.create(spec.name).uses_residual and w.shape[0] != w.shape[1]:
+            raise ValueError(
+                f"epilogue {spec.name!r} adds the layer input as a residual, "
+                f"which needs a square layer; layer {i} is "
+                f"{w.shape[0]}x{w.shape[1]}"
+            )
+    return specs
+
+
 def _build_plans(
     tw: TiledTWMatrix, placement: Placement, layer: int, n_layers: int
 ) -> dict[DeviceSpec, ExecutionPlan]:
@@ -592,6 +715,7 @@ def _tw_layer(
     index: int,
     n_layers: int,
     dtype,
+    epilogue: EpilogueSpec | None = None,
 ) -> CompiledLayer:
     """One fully-compiled TW layer from a weight matrix and its prune masks.
 
@@ -613,6 +737,7 @@ def _tw_layer(
         row_masks=tuple(row_masks),
         tw=tw,
         plans=_build_plans(tw, placement, index, n_layers),
+        epilogue=epilogue,
         fingerprint=weight_fingerprint(w, col_keep, row_masks),
     )
 
@@ -649,6 +774,7 @@ def compile(
     placement: Placement | str | None = None,
     devices: Sequence[DeviceSpec] | None = None,
     dtype: np.dtype | type | None = np.float64,
+    epilogue=None,
     scores: Sequence[np.ndarray] | None = None,
     prune_config: TWPruneConfig | None = None,
     pattern_kwargs: dict | None = None,
@@ -677,6 +803,19 @@ def compile(
         (combined with ``devices``), or ``None`` for single-device.
     dtype:
         Compact payload dtype (``None`` keeps the weights' own dtype).
+        ``float64``/``float32`` store and compute at that precision;
+        ``float16`` stores half-precision payloads and accumulates every
+        group GEMM in float32; ``int8`` quantises each tile symmetrically
+        (per-tile scale, weights-only) and serves float32 activations.
+    epilogue:
+        Optional fused per-layer epilogue: an
+        :data:`~repro.kernels.fusion.EPILOGUES` registry name
+        (``bias_gelu``, ``bias_layernorm``,
+        ``dropout_residual_layernorm``), a full
+        :class:`~repro.kernels.fusion.EpilogueSpec`, or a sequence with
+        one entry (or ``None``) per layer.  Applied inside ``run()`` and
+        the serving wave task right after each layer's GEMM — bit-identical
+        in float64 to the unfused ``*_reference`` composition.
     scores:
         Element importance scores per weight; defaults to magnitude.
     prune_config:
@@ -721,6 +860,7 @@ def compile(
 
     n = len(weights)
     layers: list[CompiledLayer] = []
+    epilogues = _layer_epilogues(epilogue, weights, dtype)
     if pattern == "tw":
         cfg = prune_config or TWPruneConfig(granularity=granularity)
         granularity = cfg.granularity
@@ -730,6 +870,7 @@ def compile(
                 _tw_layer(
                     w, layer_names[i], cfg, step.col_keeps[i],
                     step.row_masks[i], step.masks[i], placement, i, n, dtype,
+                    epilogue=epilogues[i],
                 )
             )
         achieved = step.achieved_sparsity
@@ -739,6 +880,7 @@ def compile(
                 CompiledLayer(
                     name=layer_names[i], shape=w.shape, dense=w,
                     mask=np.ones(w.shape, dtype=bool),
+                    epilogue=epilogues[i],
                 )
             )
         achieved = 0.0
@@ -750,6 +892,7 @@ def compile(
                 CompiledLayer(
                     name=layer_names[i], shape=w.shape, dense=w,
                     mask=np.asarray(result.masks[i], dtype=bool),
+                    epilogue=epilogues[i],
                 )
             )
         achieved = result.achieved_sparsity

@@ -36,10 +36,15 @@ import numpy as np
 
 from repro.core.importance import available_importance
 from repro.core.schedule import available_schedules
+from repro.kernels.fusion import EPILOGUES
 from repro.patterns.registry import available_engines, available_patterns
 from repro.runtime.executor import available_executors
 
 __all__ = ["main", "build_parser"]
+
+#: serving/pricing dtypes: floats execute end to end; int8 is weights-only
+#: quantisation (float32 activations, fp32 accumulation, per-tile scales)
+_DTYPES = ("float64", "float32", "float16", "int8")
 
 _PRICE_PATTERNS = sorted(set(available_patterns()) | {"dense", "tew"})
 _SWEEP_PATTERNS = sorted(set(available_patterns()) | {"tew"})
@@ -112,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_lat.add_argument("--sparsity", type=float, default=0.75)
     p_lat.add_argument("--granularity", "-G", type=int, default=128)
     p_lat.add_argument("--engine", default="tensor_core", choices=available_engines())
+    p_lat.add_argument("--dtype", default=None, choices=_DTYPES,
+                       help="price at this execution dtype (picks the "
+                            "tensor-core calibration for float16/int8, "
+                            "cuda-core for float32/float64, and scales "
+                            "the memory legs by the element size); "
+                            "default: the engine's historical pricing")
 
     p_sweep = sub.add_parser("sweep", help="speedup vs sparsity table")
     p_sweep.add_argument("model", choices=["bert", "vgg", "nmt"])
@@ -184,7 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "decides the offered load)")
     p_serve.add_argument("--rows", type=int, default=8,
                          help="activation rows per request")
-    p_serve.add_argument("--dtype", default="float32")
+    p_serve.add_argument("--dtype", default="float32", choices=_DTYPES,
+                         help="execution dtype; int8 quantises weights "
+                              "per tile (requests stay float32)")
+    p_serve.add_argument("--epilogue", default=None,
+                         choices=sorted(EPILOGUES.names()),
+                         help="fuse this epilogue into every layer's wave "
+                              "task (deterministic demo parameters)")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--continuous", action="store_true",
                          help="continuous-batching mode: stream requests "
@@ -366,7 +383,7 @@ def _cmd_latency(args: argparse.Namespace) -> int:
             sparsity=args.sparsity,
             granularity=args.granularity,
             engine=args.engine,
-        ).price()
+        ).price(dtype=args.dtype)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -378,7 +395,8 @@ def _cmd_latency(args: argparse.Namespace) -> int:
             ["model", args.model],
             ["pattern", args.pattern],
             ["sparsity", args.sparsity],
-            ["engine", args.engine],
+            ["engine", price.engine if args.dtype else args.engine],
+            ["dtype", args.dtype or "(engine default)"],
             ["GEMM-only speedup", f"{price.gemm_speedup:.2f}x"],
             ["end-to-end latency", f"{rep.total_us / 1e3:.3f} ms"],
             ["  gemm fraction", fr["gemm"]],
@@ -460,15 +478,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     weights, names = demo_layer_stack(
         args.model, scale=args.scale, blocks=args.blocks, seed=args.seed
     )
-    model = repro.compile(
-        weights,
-        pattern=args.pattern,
-        sparsity=args.sparsity,
-        granularity=args.granularity,
-        placement=placement,
-        dtype=np.dtype(args.dtype),
-        names=names,
-    )
+    try:
+        model = repro.compile(
+            weights,
+            pattern=args.pattern,
+            sparsity=args.sparsity,
+            granularity=args.granularity,
+            placement=placement,
+            dtype=np.dtype(args.dtype),
+            epilogue=args.epilogue,
+            names=names,
+        )
+    except ValueError as exc:  # e.g. a residual epilogue on a non-square layer
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         server = model.serve(
             executor=args.executor, workers=args.workers,
@@ -489,10 +512,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     rng = np.random.default_rng(args.seed + 1)
     k = weights[0].shape[0]
+    req_dtype = _request_dtype(args.dtype)
     rejected = 0
     try:
         for _ in range(args.requests):
-            x = rng.standard_normal((args.rows, k)).astype(args.dtype)
+            x = rng.standard_normal((args.rows, k)).astype(req_dtype)
             try:
                 server.submit(x, deadline_s=args.deadline_s)
             except QueueFullError:
@@ -584,8 +608,9 @@ def _serve_continuous(args, model, placement, server, weights) -> int:
 
     rng = np.random.default_rng(args.seed + 1)
     k = weights[0].shape[0]
+    req_dtype = _request_dtype(args.dtype)
     xs = [
-        rng.standard_normal((args.rows, k)).astype(args.dtype)
+        rng.standard_normal((args.rows, k)).astype(req_dtype)
         for _ in range(32)
     ]
 
@@ -649,6 +674,12 @@ def _serve_continuous(args, model, placement, server, weights) -> int:
     return 0
 
 
+def _request_dtype(dtype: str) -> str:
+    """The dtype request activations travel in: ``int8`` models quantise
+    weights only, so their requests stay ``float32``."""
+    return "float32" if np.dtype(dtype).kind in "iu" else dtype
+
+
 def _shard_counts(layout: list[str]) -> list[tuple[str, int]]:
     from collections import Counter
 
@@ -680,6 +711,7 @@ def _info_record() -> dict:
             "faults": FAULTS.names(),
             "schedules": SCHEDULES.names(),
             "importance": IMPORTANCE.names(),
+            "epilogues": EPILOGUES.names(),
         },
     }
 

@@ -133,6 +133,9 @@ def _tiled_payload(matrix: TiledTWMatrix, prefix: str = "") -> dict[str, np.ndar
         f"{prefix}shape": np.array(matrix.shape, dtype=np.int64),
         f"{prefix}granularity": np.array([matrix.granularity], dtype=np.int64),
         f"{prefix}n_tiles": np.array([matrix.n_tiles], dtype=np.int64),
+        f"{prefix}scales": np.array(
+            [t.scale for t in matrix.tiles], dtype=np.float64
+        ),
     }
     for i, t in enumerate(matrix.tiles):
         payload[f"{prefix}tile{i}_cols"] = t.col_indices
@@ -142,13 +145,24 @@ def _tiled_payload(matrix: TiledTWMatrix, prefix: str = "") -> dict[str, np.ndar
 
 
 def _tiled_from_payload(f, prefix: str = "") -> TiledTWMatrix:
-    """Inverse of :func:`_tiled_payload` over an open npz file."""
+    """Inverse of :func:`_tiled_payload` over an open npz file.
+
+    ``scales`` is absent from pre-quantization artifacts; they dequantise
+    trivially (every tile at the neutral scale 1.0).
+    """
     n_tiles = int(f[f"{prefix}n_tiles"][0])
+    scales_key = f"{prefix}scales"
+    scales = (
+        np.asarray(f[scales_key], dtype=np.float64)
+        if scales_key in getattr(f, "files", f)
+        else np.ones(n_tiles)
+    )
     tiles = tuple(
         TWTile(
             col_indices=f[f"{prefix}tile{i}_cols"],
             mask_k=f[f"{prefix}tile{i}_mask_k"],
             data=f[f"{prefix}tile{i}_data"],
+            scale=float(scales[i]) if i < len(scales) else 1.0,
         )
         for i in range(n_tiles)
     )
@@ -166,7 +180,9 @@ def save_compiled_arrays(
 
     ``meta`` is any JSON-serialisable compilation metadata; each layer dict
     holds ``tw`` (:class:`TiledTWMatrix`), ``col_keep`` (``bool[N]``) and
-    ``row_masks`` (list of ``bool[K]``).  This is the array-level half of
+    ``row_masks`` (list of ``bool[K]``), plus an optional ``epilogue``
+    dict (scalars under ``name``/``p``/``seed``/``eps``, parameter vectors
+    under ``bias``/``gamma``/``beta``).  This is the array-level half of
     :meth:`repro.api.CompiledTWModel.save` — kept here so serialization
     stays a formats concern and the facade stays import-light.
     """
@@ -183,6 +199,13 @@ def save_compiled_arrays(
         payload[f"{prefix}n_row_masks"] = np.array([len(masks)], dtype=np.int64)
         for j, mask in enumerate(masks):
             payload[f"{prefix}row_mask{j}"] = np.asarray(mask, dtype=bool)
+        epi = layer.get("epilogue")
+        if epi is not None:
+            scalars = {k: epi[k] for k in ("name", "p", "seed", "eps")}
+            payload[f"{prefix}epilogue_json"] = np.array(json.dumps(scalars))
+            for k in ("bias", "gamma", "beta"):
+                if epi.get(k) is not None:
+                    payload[f"{prefix}epilogue_{k}"] = np.asarray(epi[k])
     np.savez_compressed(path, kind="compiled-tw", **payload)
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
@@ -199,6 +222,12 @@ def load_compiled_arrays(path: str | Path) -> tuple[dict, list[dict]]:
         layers = []
         for i in range(int(f["n_layers"][0])):
             prefix = f"l{i}_"
+            epilogue = None
+            if f"{prefix}epilogue_json" in f.files:
+                epilogue = json.loads(str(f[f"{prefix}epilogue_json"]))
+                for k in ("bias", "gamma", "beta"):
+                    key = f"{prefix}epilogue_{k}"
+                    epilogue[k] = f[key] if key in f.files else None
             layers.append(
                 {
                     "tw": _tiled_from_payload(f, prefix),
@@ -207,6 +236,7 @@ def load_compiled_arrays(path: str | Path) -> tuple[dict, list[dict]]:
                         f[f"{prefix}row_mask{j}"]
                         for j in range(int(f[f"{prefix}n_row_masks"][0]))
                     ],
+                    "epilogue": epilogue,
                 }
             )
         return meta, layers

@@ -11,7 +11,9 @@ Each :class:`TWTile` therefore stores
 - ``col_indices`` — the original column indices this tile owns (all of them
   survivors of column pruning; a column appearing in no tile was pruned),
 - ``mask_k``      — ``bool[K]``, True for rows kept by this tile's row pruning,
-- ``data``        — the compact dense ``kept_k × kept_n`` payload.
+- ``data``        — the compact dense ``kept_k × kept_n`` payload,
+- ``scale``       — the symmetric quantisation scale (int8 payloads store
+  ``round(w / scale)``; float payloads keep the neutral ``1.0``).
 
 Because every tile is dense after compaction, the sparse product collapses to
 a set of *smaller dense GEMMs*, which is the property that lets TW run on
@@ -51,12 +53,17 @@ class TWTile:
         ``float[kept_k, kept_n]`` compact dense payload,
         ``data[a, b] = B[rows_kept[a], col_indices[b]]`` — ``float64`` by
         default, ``float32``/``float16`` when the serving path compacts at
-        reduced precision.
+        reduced precision, ``int8`` when quantised (see ``scale``).
+    scale:
+        Symmetric per-tile quantisation scale: logical values are
+        ``data * scale``.  ``1.0`` (neutral) for float payloads; for int8
+        payloads ``scale = max|w| / 127`` over the tile's kept elements.
     """
 
     col_indices: np.ndarray
     mask_k: np.ndarray
     data: np.ndarray
+    scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.col_indices.ndim != 1:
@@ -66,6 +73,8 @@ class TWTile:
         expect = (int(self.mask_k.sum()), int(self.col_indices.size))
         if self.data.shape != expect:
             raise ValueError(f"tile data shape {self.data.shape} != masks imply {expect}")
+        if not (self.scale > 0.0 and np.isfinite(self.scale)):
+            raise ValueError(f"tile scale must be positive and finite, got {self.scale}")
 
     @property
     def kept_k(self) -> int:
@@ -142,8 +151,18 @@ class TiledTWMatrix:
             Payload dtype of the compact tiles (``float64`` default, the
             historical behaviour).  ``None`` keeps ``dense``'s own dtype so
             float32 weights compact — and later serve — without promotion.
+            ``int8`` quantises each tile symmetrically against its own
+            ``max|w| / 127`` scale (per-tile scales, fp32 dequantisation at
+            execution time — the mixed-precision serving path).
         """
-        dense = np.asarray(dense, dtype=dtype)
+        quantize = dtype is not None and np.dtype(dtype).kind in "iu"
+        if quantize and np.dtype(dtype) != np.dtype(np.int8):
+            raise ValueError(
+                f"only int8 quantisation is supported, got {np.dtype(dtype)}"
+            )
+        # quantisation must see the float values — casting first would
+        # truncate them to integers before the scale is even computed
+        dense = np.asarray(dense) if quantize else np.asarray(dense, dtype=dtype)
         if dense.ndim != 2:
             raise ValueError(f"expected 2-D array, got ndim={dense.ndim}")
         k, n = dense.shape
@@ -166,7 +185,16 @@ class TiledTWMatrix:
                 data = dense[rows][:, cols]
             else:
                 data = np.zeros((rows.size, cols.size), dtype=dense.dtype)
-            tiles.append(TWTile(cols.astype(np.int64), mk, np.ascontiguousarray(data)))
+            scale = 1.0
+            if quantize:
+                amax = float(np.max(np.abs(data))) if data.size else 0.0
+                scale = amax / 127.0 if amax > 0.0 else 1.0
+                data = np.clip(np.rint(data / scale), -127, 127).astype(np.int8)
+            tiles.append(
+                TWTile(
+                    cols.astype(np.int64), mk, np.ascontiguousarray(data), scale
+                )
+            )
         return cls(shape=(k, n), granularity=granularity, tiles=tuple(tiles))
 
     @staticmethod
@@ -232,6 +260,11 @@ class TiledTWMatrix:
         return self.tiles[0].data.dtype if self.tiles else np.dtype(np.float64)
 
     @property
+    def quantized(self) -> bool:
+        """True when the payloads are integer-quantised (int8 + scales)."""
+        return self.dtype.kind in "iu"
+
+    @property
     def kept_columns(self) -> int:
         """Total surviving columns across tiles."""
         return sum(t.kept_n for t in self.tiles)
@@ -272,12 +305,20 @@ class TiledTWMatrix:
         return float(work.max() / mean) if mean > 0 else 1.0
 
     def to_dense(self) -> np.ndarray:
-        """Expand back to the logical dense ``K×N`` array (zeros where pruned)."""
-        out = np.zeros(self.shape, dtype=self.dtype)
+        """Expand back to the logical dense ``K×N`` array (zeros where pruned).
+
+        Quantised payloads dequantise through their per-tile scales, so the
+        result always holds *logical* float values (fp32 for int8 storage).
+        """
+        out_dtype = np.dtype(np.float32) if self.quantized else self.dtype
+        out = np.zeros(self.shape, dtype=out_dtype)
         for t in self.tiles:
             rows = t.row_indices()
             if rows.size and t.col_indices.size:
-                out[np.ix_(rows, t.col_indices)] = t.data
+                payload = t.data
+                if self.quantized:
+                    payload = payload.astype(np.float32) * np.float32(t.scale)
+                out[np.ix_(rows, t.col_indices)] = payload
         return out
 
     def element_mask(self) -> np.ndarray:

@@ -56,12 +56,21 @@ from repro.kernels.im2col import (
 )
 from repro.kernels.transpose import blocked_transpose
 from repro.kernels.fusion import (
+    EPILOGUES,
+    EpilogueSpec,
     add_bias,
+    apply_epilogue,
     bias_gelu,
+    bias_gelu_reference,
     bias_layernorm,
+    bias_layernorm_reference,
     bias_relu,
+    dropout,
+    dropout_residual_layernorm,
+    dropout_residual_layernorm_reference,
     gelu,
     layernorm,
+    resolve_epilogue_spec,
 )
 
 __all__ = [
@@ -84,7 +93,16 @@ __all__ = [
     "add_bias",
     "bias_relu",
     "bias_gelu",
+    "bias_gelu_reference",
     "bias_layernorm",
+    "bias_layernorm_reference",
+    "dropout",
+    "dropout_residual_layernorm",
+    "dropout_residual_layernorm_reference",
     "gelu",
     "layernorm",
+    "EPILOGUES",
+    "EpilogueSpec",
+    "apply_epilogue",
+    "resolve_epilogue_spec",
 ]

@@ -37,6 +37,32 @@ a live memo), which is what lets a serving loop replay a cached
 :class:`~repro.runtime.scheduler.ExecutionPlan` and pay only the GEMMs.
 Pass ``plan=StreamAssignment.execution_order()`` (or an ``ExecutionPlan``)
 to execute groups in the scheduler's per-stream issue order.
+
+Mixed precision
+---------------
+``tw_gemm`` follows the storage dtype of the compacted weight:
+
+- **float64 / float32** — operands multiply in their own dtype (the
+  historical behaviour; float32 runs BLAS sgemm directly).
+- **float16** — storage (checkpoint, shared-memory arena, pickle) stays
+  half precision; the GEMM *accumulates in float32* via an explicit
+  upcast-per-group (host BLAS has no half kernels) and the output rounds
+  back to float16 once.  The fp32 compute operand is memoised next to the
+  fp16 storage operand, so a serving loop upcasts each group exactly once.
+- **int8** — tile payloads are symmetric per-tile quantised
+  (``q = round(w / scale)``, ``scale`` on each :class:`TWTile`); the GEMM
+  dequantises each group into a memoised fp32 operand and accumulates in
+  float32.  Activations stay floating point throughout.
+
+Oracle-comparison policy (vectorisation contract): ``tw_gemm_reference``
+is the float-payload oracle and hardcodes a ``float64`` output promotion;
+comparisons run in the *batched path's* dtype against the reference output
+cast to that dtype, with the per-dtype tolerances in
+:data:`DTYPE_TOLERANCES` — exact (``atol = rtol = 0``) for float64 on
+dyadic data, documented rounding bounds for float32/float16.  The int8
+path has no scalar oracle: it is compared against the float64 ``tw_gemm``
+on the dequantised weights (``TiledTWMatrix.to_dense()``) within the
+quantisation-error bound implied by the tile scales.
 """
 
 from __future__ import annotations
@@ -47,7 +73,20 @@ import numpy as np
 
 from repro.formats.tiled import TiledTWMatrix
 
-__all__ = ["masked_gemm", "tw_gemm", "tw_gemm_reference"]
+__all__ = ["masked_gemm", "tw_gemm", "tw_gemm_reference", "DTYPE_TOLERANCES"]
+
+#: per-dtype tolerance table for batched-vs-oracle comparisons (the
+#: explicit oracle policy): compare in the batched path's dtype, reference
+#: output cast to it.  float64 on dyadic data is exact; float64 on
+#: continuous data differs only by summation-order rounding; float32 /
+#: float16 bounds follow ``K_max · eps`` for BERT-scale reductions
+#: (K ≤ 4096: 4096 · 1.2e-7 ≈ 5e-4 relative for fp32, and half-precision
+#: storage rounding ~ 1e-3 relative dominates for fp16).
+DTYPE_TOLERANCES: dict[str, dict[str, float]] = {
+    "float64": {"rtol": 0.0, "atol": 1e-12},
+    "float32": {"rtol": 5e-4, "atol": 1e-5},
+    "float16": {"rtol": 1e-2, "atol": 1e-3},
+}
 
 
 def masked_gemm(
@@ -101,7 +140,10 @@ def tw_gemm_reference(a: np.ndarray, weight: TiledTWMatrix) -> np.ndarray:
 
     This is the seed implementation kept verbatim (vectorisation contract):
     it must never be optimised.  Note it promotes the output to ``float64``
-    regardless of the operand dtypes; the batched path respects them.
+    regardless of the operand dtypes; the batched path respects them (see
+    ``DTYPE_TOLERANCES`` for the comparison policy).  Defined for *float*
+    payloads only — quantised int8 weights have no scalar oracle and are
+    checked against the float64 path on the dequantised weights instead.
     """
     a = np.asarray(a)
     if a.ndim != 2:
@@ -142,7 +184,10 @@ def tw_gemm(a: np.ndarray, weight: TiledTWMatrix, plan=None) -> np.ndarray:
     reduction only differs by summation-order rounding.  The output dtype
     follows ``np.result_type(a, weight payload)`` instead of the
     reference's unconditional ``float64`` promotion, so float32 serving
-    does not double its memory traffic.
+    does not double its memory traffic.  float16 weights accumulate in
+    float32 (upcast-per-group) and round the output back to float16; int8
+    weights dequantise per tile scale into float32 and return the float
+    result-type of the activations (never int).
     """
     a = np.asarray(a)
     if a.ndim != 2:
@@ -151,12 +196,18 @@ def tw_gemm(a: np.ndarray, weight: TiledTWMatrix, plan=None) -> np.ndarray:
     if a.shape[1] != k:
         raise ValueError(f"A columns {a.shape[1]} != weight K {k}")
     tiles = weight.tiles
-    w_dtype = tiles[0].data.dtype if tiles else np.float64
-    dtype = np.result_type(a.dtype, w_dtype)
+    w_dtype = tiles[0].data.dtype if tiles else np.dtype(np.float64)
+    if w_dtype.kind in "iu":
+        # quantised storage: fp32 accumulation, activations stay float
+        out_dtype = np.result_type(a.dtype, np.float32)
+    else:
+        out_dtype = np.result_type(a.dtype, w_dtype)
+    # host BLAS has no half kernels: fp16 GEMMs accumulate in fp32 via an
+    # explicit upcast-per-group and round the output once at the end
+    compute_dtype = np.dtype(np.float32) if out_dtype == np.float16 else np.dtype(out_dtype)
     m = a.shape[0]
-    out = np.zeros((m, n), dtype=dtype)
     if not tiles:
-        return out
+        return np.zeros((m, n), dtype=out_dtype)
     if plan is None:
         plan = weight.__dict__.get("_default_plan")
         if plan is None:
@@ -167,21 +218,24 @@ def tw_gemm(a: np.ndarray, weight: TiledTWMatrix, plan=None) -> np.ndarray:
             object.__setattr__(weight, "_default_plan", plan)
     elif hasattr(plan, "execution_order"):
         plan = plan.execution_order()
-    if a.dtype != dtype:
-        a = a.astype(dtype)
+    if a.dtype != compute_dtype:
+        a = a.astype(compute_dtype)
+    out = np.zeros((m, n), dtype=compute_dtype)
     for group in plan:
-        operand = _group_operand(weight, group.tile_ids)
+        operand = _group_operand(weight, group.tile_ids, compute_dtype)
         if operand is None:
             continue
         b_padded, cols = operand
         # Fig. 7 step 3: one GEMM per width group, one vectorised store —
         # every output column belongs to exactly one tile
         out[:, cols] = a @ b_padded
-    return out
+    return out if compute_dtype == out_dtype else out.astype(out_dtype)
 
 
 def _group_operand(
-    weight: TiledTWMatrix, tile_ids: Sequence[int]
+    weight: TiledTWMatrix,
+    tile_ids: Sequence[int],
+    compute_dtype: np.dtype | None = None,
 ) -> tuple[np.ndarray, np.ndarray] | None:
     """Assemble (and memoise) one group's depth-padded batched operand.
 
@@ -191,27 +245,64 @@ def _group_operand(
     activation panel.  Memoised on the weight instance keyed by
     ``tile_ids``; the frozen dataclass carries the memo via its instance
     ``__dict__``.
+
+    The base memo holds the *storage-dtype* operand (what checkpoints,
+    pickles and shared-memory arenas carry).  When ``compute_dtype``
+    differs — fp16 storage accumulating in fp32, or int8 storage
+    dequantising through its per-tile scales — a second per-process memo
+    (``_compute_operands``) holds the compute-ready operand, built exactly
+    once per (group, dtype) so steady-state serving replays pure GEMMs.
     """
     cache = weight.__dict__.get("_group_operands")
     if cache is None:
         cache = {}
         object.__setattr__(weight, "_group_operands", cache)
     key = tuple(tile_ids)
-    hit = cache.get(key)
-    if hit is not None or key in cache:
-        return hit
-    members = [weight.tiles[i] for i in key]
-    members = [t for t in members if t.kept_k and t.kept_n]
-    if not members:
-        cache[key] = None
+    if key not in cache:
+        members = [weight.tiles[i] for i in key]
+        members = [t for t in members if t.kept_k and t.kept_n]
+        if not members:
+            cache[key] = None
+        else:
+            k = weight.shape[0]
+            total_width = sum(t.kept_n for t in members)
+            b_padded = np.zeros((k, total_width), dtype=members[0].data.dtype)
+            offset = 0
+            for t in members:
+                b_padded[t.row_indices(), offset : offset + t.kept_n] = t.data
+                offset += t.kept_n
+            cols = np.concatenate([t.col_indices for t in members])
+            cache[key] = (b_padded, cols)
+    base = cache[key]
+    if base is None:
         return None
-    k = weight.shape[0]
-    total_width = sum(t.kept_n for t in members)
-    b_padded = np.zeros((k, total_width), dtype=members[0].data.dtype)
-    offset = 0
-    for t in members:
-        b_padded[t.row_indices(), offset : offset + t.kept_n] = t.data
-        offset += t.kept_n
-    cols = np.concatenate([t.col_indices for t in members])
-    cache[key] = (b_padded, cols)
-    return cache[key]
+    storage_dtype = base[0].dtype
+    if compute_dtype is None or np.dtype(compute_dtype) == storage_dtype:
+        return base
+    ccache = weight.__dict__.get("_compute_operands")
+    if ccache is None:
+        ccache = {}
+        object.__setattr__(weight, "_compute_operands", ccache)
+    ckey = (key, np.dtype(compute_dtype).str)
+    hit = ccache.get(ckey)
+    if hit is not None:
+        return hit
+    quantized = storage_dtype.kind in "iu"
+    if not quantized:
+        b_compute = base[0].astype(compute_dtype)
+    else:
+        # rebuild per-slab so each tile's payload dequantises by its own
+        # scale (the concatenated base block has no slab boundaries)
+        members = [weight.tiles[i] for i in key]
+        members = [t for t in members if t.kept_k and t.kept_n]
+        k = weight.shape[0]
+        total_width = sum(t.kept_n for t in members)
+        b_compute = np.zeros((k, total_width), dtype=compute_dtype)
+        offset = 0
+        for t in members:
+            slab = t.data.astype(compute_dtype)
+            slab *= np.asarray(t.scale, dtype=compute_dtype)
+            b_compute[t.row_indices(), offset : offset + t.kept_n] = slab
+            offset += t.kept_n
+    ccache[ckey] = (b_compute, base[1])
+    return ccache[ckey]

@@ -122,6 +122,11 @@ class ArenaRef:
     operands: tuple[OperandSlots, ...]
     null_groups: tuple[tuple[int, ...], ...]
     nbytes: int
+    #: per-tile dequantisation scales (plain floats — a few bytes per tile,
+    #: so they ride the picklable ref rather than earning shm slots).
+    #: Empty on refs placed before quantisation support; attach() treats
+    #: that as the neutral scale 1.0 for every tile.
+    scales: tuple[float, ...] = ()
 
 
 class _Owned:
@@ -241,6 +246,7 @@ def place(key: object, tw: TiledTWMatrix, plans=()) -> ArenaRef:
         operands=operand_slots,
         null_groups=tuple(null_groups),
         nbytes=nbytes,
+        scales=tuple(float(t.scale) for t in tw.tiles),
     )
     with _lock:
         racer = _owned.get(key)
@@ -356,8 +362,9 @@ def attach(ref: ArenaRef) -> TiledTWMatrix:
             col_indices=_view(shm.buf, ts.cols),
             mask_k=_view(shm.buf, ts.mask),
             data=_view(shm.buf, ts.data),
+            scale=float(ref.scales[i]) if i < len(ref.scales) else 1.0,
         )
-        for ts in ref.tiles
+        for i, ts in enumerate(ref.tiles)
     )
     tw = TiledTWMatrix(shape=tuple(ref.shape), granularity=ref.granularity,
                        tiles=tiles)

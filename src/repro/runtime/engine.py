@@ -29,7 +29,13 @@ from repro.gpu.tw_kernel import TWExecutionOptions, TWShapeStats, tw_gemm_cost
 from repro.models.registry import GemmShape, nongemm_time_fraction
 from repro.runtime.layout import TransposePlan, transpose_cost
 
-__all__ = ["LayerPlan", "EngineConfig", "EndToEndReport", "InferenceEngine"]
+__all__ = [
+    "LayerPlan",
+    "EngineConfig",
+    "EndToEndReport",
+    "InferenceEngine",
+    "engine_for_dtype",
+]
 
 _PATTERNS = ("dense", "tw", "tew", "ew", "vw", "bw")
 
@@ -74,6 +80,10 @@ class LayerPlan:
             raise ValueError(f"tew_delta must be in [0, 1), got {self.tew_delta}")
 
 
+#: explicit dtype axis → per-element bytes for memory-traffic legs
+_DTYPE_BYTES = {"float64": 8, "float32": 4, "float16": 2, "int8": 1}
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Execution configuration for a whole forward pass."""
@@ -83,15 +93,38 @@ class EngineConfig:
     fusion: bool = True
     batching: bool = True
     streams: bool = True
+    #: explicit serving dtype ("float64" | "float32" | "float16" | "int8");
+    #: "" keeps the historical engine default (fp16 on tensor cores, fp32
+    #: on CUDA cores — paper §VII-A).  The dtype axis only moves the
+    #: memory-traffic legs; compute efficiency stays the engine's
+    #: calibration (tensor-core MACs for fp16/int8, CUDA-core for fp32+).
+    dtype: str = ""
 
     def __post_init__(self) -> None:
         if self.engine not in ("tensor_core", "cuda_core"):
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.dtype and self.dtype not in _DTYPE_BYTES:
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; "
+                f"choose from {', '.join(_DTYPE_BYTES)} or ''"
+            )
 
     @property
     def dtype_bytes(self) -> int:
-        """FP16 on tensor cores, FP32 on CUDA cores (paper §VII-A)."""
+        """Per-element bytes: the explicit dtype axis when set, otherwise
+        FP16 on tensor cores / FP32 on CUDA cores (paper §VII-A)."""
+        if self.dtype:
+            return _DTYPE_BYTES[self.dtype]
         return 2 if self.engine == "tensor_core" else 4
+
+
+def engine_for_dtype(dtype: str) -> str:
+    """The natural engine for a serving dtype: reduced precision runs on
+    tensor cores, full precision on CUDA cores (V100 tensor cores have no
+    fp32/fp64 mode)."""
+    if dtype and dtype not in _DTYPE_BYTES:
+        raise ValueError(f"unknown dtype {dtype!r}")
+    return "tensor_core" if dtype in ("float16", "int8") else "cuda_core"
 
 
 @dataclass
@@ -179,6 +212,7 @@ class InferenceEngine:
                 batching=config.batching,
                 streams=config.streams,
                 engine=config.engine,
+                dtype_bytes=config.dtype_bytes if config.dtype else None,
             )
             return tw_gemm_cost(shape.m, self._tw_stats(plan), self.device, self.calib, opts)
         if plan.pattern == "tew":
@@ -193,6 +227,7 @@ class InferenceEngine:
                     batching=config.batching,
                     streams=config.streams,
                     engine=config.engine,
+                    dtype_bytes=config.dtype_bytes if config.dtype else None,
                 ),
             )
             residual_nnz = int(plan.tew_delta * shape.k * shape.n)

@@ -93,6 +93,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.formats.tiled import TiledTWMatrix
+from repro.kernels.fusion import EpilogueSpec, apply_epilogue
 from repro.kernels.masked import tw_gemm
 from repro.patterns.registry import Registry
 from repro.runtime.arena import ArenaRef
@@ -137,6 +138,10 @@ class WaveStep:
     #: shared-memory handle for this step's weights (``process`` executor):
     #: when set, workers attach the arena instead of unpickling ``tw``
     arena: ArenaRef | None = None
+    #: optional fused non-GEMM consumer applied right after this step's
+    #: GEMM, inside the wave task (the step's input activations serve as
+    #: the residual stream); its time counts in the slot's busy accounting
+    epilogue: EpilogueSpec | None = None
 
 
 @dataclass(frozen=True)
@@ -203,7 +208,10 @@ def _execute_steps(
         t0 = time.perf_counter()
         if faults is not None:
             faults.before_step(wave_index, step.layer, step.slot)
-        a = tw_gemm(a, step.tw, plan=step.plan)
+        y = tw_gemm(a, step.tw, plan=step.plan)
+        if step.epilogue is not None:
+            y = apply_epilogue(y, step.epilogue, residual=a)
+        a = y
         if step.dwell_s > 0.0:
             remaining = step.dwell_s - (time.perf_counter() - t0)
             if remaining > 0.0:
@@ -710,8 +718,9 @@ def _run_segment(item):
                 slot=slot,
                 label=label,
                 dwell_s=dwell_s,
+                epilogue=epilogue,
             )
-            for layer, slot, label, dwell_s, ref, tw, plan in specs
+            for layer, slot, label, dwell_s, ref, tw, plan, epilogue in specs
         )
         a = _execute_steps(
             a, steps, scratch, wave_index=wave_index, faults=faults
@@ -1070,7 +1079,7 @@ class _ProcessRun:
             task = self.tasks[ti]
             specs = tuple(
                 (s.layer, s.slot, s.label, s.dwell_s, s.arena,
-                 None if s.arena is not None else s.tw, s.plan)
+                 None if s.arena is not None else s.tw, s.plan, s.epilogue)
                 for s in self.segments[ti][seg_idx][1]
             )
             try:

@@ -206,7 +206,16 @@ class ServerConfig:
     batching, streams:
         Plan switches (paper Fig. 7 steps 3–4).
     dtype:
-        Payload/activation dtype for serving.
+        Activation dtype for serving (and, by default, the compact payload
+        dtype too).
+    storage_dtype:
+        Compact *weight payload* dtype when it differs from the activation
+        dtype (``""`` = same as ``dtype``).  The mixed-precision split:
+        an int8-quantized model stores ``storage_dtype="int8"`` tiles
+        (per-tile scales, weights-only quantization) while waves run
+        ``dtype="float32"`` activations with fp32 accumulation.  Part of
+        the format cache key, so the same weights served at two storage
+        precisions never share compacted formats.
     max_wave_rows:
         Row cap per micro-batch wave; larger queues split into successive
         waves (requests never split across waves).  The PR 2 name
@@ -285,6 +294,7 @@ class ServerConfig:
     batching: bool = True
     streams: bool = True
     dtype: str = "float64"
+    storage_dtype: str = ""
     max_wave_rows: int = 8192
     queue_timeout_s: float = 0.0
     device: DeviceSpec = V100
@@ -323,6 +333,8 @@ class ServerConfig:
                 f"queue_timeout_s must be finite and non-negative, got {self.queue_timeout_s!r}"
             )
         np.dtype(self.dtype)  # raises on unknown dtype names
+        if self.storage_dtype:
+            np.dtype(self.storage_dtype)
         if self.placement is not None and not isinstance(self.placement, Placement):
             raise TypeError(
                 f"placement must be a Placement or None, got {type(self.placement).__name__}"
@@ -380,6 +392,11 @@ class ServerConfig:
     def resolved_placement(self) -> Placement:
         """The effective placement (``device`` wrapped as ``single``)."""
         return self.placement or Placement("single", (self.device,))
+
+    @property
+    def resolved_storage_dtype(self) -> str:
+        """The effective compact-payload dtype (falls back to ``dtype``)."""
+        return self.storage_dtype or self.dtype
 
 
 _DEFAULT_WAVE_ROWS = 8192
@@ -604,12 +621,21 @@ class ServerStats:
 
 @dataclass(frozen=True)
 class _Layer:
-    """One registered weight layer (dense + masks + cache identity)."""
+    """One registered weight layer (dense + masks + cache identity).
+
+    ``epilogue`` is the optional fused non-GEMM consumer
+    (:class:`~repro.kernels.fusion.EpilogueSpec`) applied inside the wave
+    task right after this layer's GEMM.  It rides the wave step rather
+    than the format/plan caches — compaction and planning are
+    epilogue-independent, so two models differing only in epilogues still
+    share cached formats.
+    """
 
     dense: np.ndarray
     col_keep: np.ndarray
     row_masks: tuple[np.ndarray, ...]
     fingerprint: str
+    epilogue: object | None = None
 
 
 @dataclass
@@ -694,8 +720,16 @@ class TWModelServer:
         dense: np.ndarray,
         col_keep: np.ndarray,
         row_masks: list[np.ndarray],
+        *,
+        epilogue=None,
     ) -> str:
-        """Register one pruned GEMM layer; returns its weight fingerprint."""
+        """Register one pruned GEMM layer; returns its weight fingerprint.
+
+        ``epilogue`` optionally attaches a fused
+        :class:`~repro.kernels.fusion.EpilogueSpec` that every wave applies
+        right after this layer's GEMM (same semantics as
+        :meth:`repro.api.CompiledTWModel.run`).
+        """
         dense = np.asarray(dense)
         if dense.ndim != 2:
             raise ValueError("layer weight must be 2-D")
@@ -707,7 +741,8 @@ class TWModelServer:
         fp = weight_fingerprint(dense, col_keep, row_masks)
         self._layers.append(
             _Layer(dense, np.asarray(col_keep, dtype=bool),
-                   tuple(np.asarray(m, dtype=bool) for m in row_masks), fp)
+                   tuple(np.asarray(m, dtype=bool) for m in row_masks), fp,
+                   epilogue)
         )
         return fp
 
@@ -750,7 +785,8 @@ class TWModelServer:
         Returns whether the format was adopted.
         """
         layer = self._layers[index]
-        if tw.granularity != self.config.granularity or tw.dtype != np.dtype(self.config.dtype):
+        storage = np.dtype(self.config.resolved_storage_dtype)
+        if tw.granularity != self.config.granularity or tw.dtype != storage:
             return False
         if tw.shape != layer.dense.shape:
             return False
@@ -784,7 +820,12 @@ class TWModelServer:
         self.stats.plan_evictions += 1
 
     def _format_key(self, layer: _Layer) -> tuple:
-        return (layer.fingerprint, "tw", self.config.granularity, self.config.dtype)
+        return (
+            layer.fingerprint,
+            "tw",
+            self.config.granularity,
+            self.config.resolved_storage_dtype,
+        )
 
     def _format_for(self, layer: _Layer) -> TiledTWMatrix:
         key = self._format_key(layer)
@@ -798,7 +839,7 @@ class TWModelServer:
             self.config.granularity,
             layer.col_keep,
             list(layer.row_masks),
-            dtype=np.dtype(self.config.dtype),
+            dtype=np.dtype(self.config.resolved_storage_dtype),
         )
         self._formats.put(key, tw)
         return tw
@@ -1324,6 +1365,7 @@ class TWModelServer:
                     label=labels[slot],
                     dwell_s=self._dwell_for(layer, tw, device, batch.shape[0]),
                     arena=ref,
+                    epilogue=layer.epilogue,
                 )
             )
         task = WaveTask(

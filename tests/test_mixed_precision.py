@@ -1,0 +1,331 @@
+"""Mixed-precision pipeline + fused epilogues (ISSUE 9).
+
+The dtype matrix: every storage dtype ``{float64, float32, float16,
+int8}`` through every execution surface ``{compile→run, serve,
+serve-async (ingress), process executor}`` must agree with the float64
+oracle within the documented per-dtype tolerance
+(:data:`repro.kernels.masked.DTYPE_TOLERANCES`; int8 within its
+quantisation-error bound).  Fused epilogues must be bit-identical to
+their unfused ``*_reference`` compositions in float64 on every surface.
+
+pytest-asyncio is not a dependency; async bodies run under
+``asyncio.run`` inside plain sync tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.kernels import tw_gemm
+from repro.kernels.fusion import (
+    EPILOGUES,
+    EpilogueSpec,
+    apply_epilogue,
+    layernorm,
+    resolve_epilogue_spec,
+)
+from repro.kernels.masked import DTYPE_TOLERANCES
+from repro.runtime import arena
+from repro.runtime.server import ServerConfig
+
+DTYPES = ["float64", "float32", "float16", "int8"]
+
+#: end-to-end (3 chained layers) error bound vs the float64 oracle, as
+#: max|got-want| / max|want| — the per-GEMM DTYPE_TOLERANCES table does
+#: not apply per element across a chain, where rounding compounds through
+#: the weight norms; int8's bound is its quantisation error
+_VS_F64_MAXREL = {
+    "float64": 0.0,
+    "float32": 1e-4,
+    "float16": 5e-3,
+    "int8": 5e-2,
+}
+
+
+def _stack(seed=0):
+    rng = np.random.default_rng(seed)
+    ws = [
+        rng.standard_normal((48, 64)),
+        rng.standard_normal((64, 48)),
+        rng.standard_normal((48, 64)),
+    ]
+    x = rng.standard_normal((8, 48))
+    return ws, x
+
+
+def _compile(ws, dtype=None, epilogue=None):
+    return repro.compile(
+        ws,
+        sparsity=0.5,
+        granularity=8,
+        dtype=None if dtype is None else np.dtype(dtype),
+        epilogue=epilogue,
+    )
+
+
+def _serve_once(model, x, **kwargs):
+    server = model.serve(**kwargs)
+    try:
+        server.submit(x)
+        (res,) = server.flush()
+        assert res.status == "ok", res
+        return res.output
+    finally:
+        server.close()
+
+
+def _serve_async(model, x):
+    from repro.runtime.ingress import ServingLoop
+
+    server = model.serve()
+    try:
+
+        async def go():
+            async with ServingLoop(server) as loop:
+                return await loop.submit(x)
+
+        res = asyncio.run(go())
+        assert res.status == "ok", res
+        return res.output
+    finally:
+        server.close()
+
+
+class TestDtypeMatrix:
+    """Every dtype × every execution surface vs the float64 oracle."""
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_run_vs_float64_oracle(self, dtype):
+        ws, x = _stack()
+        want = _compile(ws).run(x)
+        got = _compile(ws, dtype=dtype).run(x).astype(np.float64)
+        err = np.abs(got - want).max() / np.abs(want).max()
+        assert err <= _VS_F64_MAXREL[dtype], (dtype, err)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_serve_bit_identical_to_run(self, dtype):
+        ws, x = _stack()
+        model = _compile(ws, dtype=dtype)
+        np.testing.assert_array_equal(_serve_once(model, x), model.run(x))
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_serve_async_bit_identical_to_run(self, dtype):
+        ws, x = _stack()
+        model = _compile(ws, dtype=dtype)
+        np.testing.assert_array_equal(_serve_async(model, x), model.run(x))
+
+    @pytest.mark.parametrize("dtype", ["float16", "int8"])
+    def test_process_executor_bit_identical_to_run(self, dtype):
+        # the expensive surface: spawn workers + shm arenas; reduced to the
+        # two quantised dtypes (float32/float64 ride the existing executor
+        # suite).  int8 exercises the arena's per-tile scale carriage.
+        ws, x = _stack()
+        model = _compile(ws, dtype=dtype)
+        got = _serve_once(model, x, executor="process", workers=2)
+        np.testing.assert_array_equal(got, model.run(x))
+        assert arena.leaked_segments() == []
+
+    def test_int8_serve_splits_storage_from_activation_dtype(self):
+        ws, _ = _stack()
+        model = _compile(ws, dtype="int8")
+        server = model.serve()
+        try:
+            assert server.config.dtype == "float32"
+            assert server.config.storage_dtype == "int8"
+            assert server.config.resolved_storage_dtype == "int8"
+        finally:
+            server.close()
+
+    def test_run_casts_activations_once_at_entry(self):
+        # run() and serve() share numerics: a float64 request against a
+        # float16 model computes in float16, not promoted float64
+        ws, x = _stack()
+        model = _compile(ws, dtype="float16")
+        assert model.run(x).dtype == np.float16
+        assert _compile(ws, dtype="int8").run(x).dtype == np.float32
+
+
+class TestFusedEpilogues:
+    """Fused consumers == unfused ``*_reference`` oracles, everywhere."""
+
+    @pytest.mark.parametrize("name", ["bias_gelu", "bias_layernorm"])
+    def test_run_bit_identical_to_unfused_reference(self, name):
+        ws, x = _stack()
+        model = _compile(ws, epilogue=name)
+        a = np.atleast_2d(x)
+        n = model.n_layers
+        for i, layer in enumerate(model.layers):
+            y = tw_gemm(a, layer.tw, plan=layer.plans.get(
+                model.placement.device_for_layer(i, n)))
+            a = apply_epilogue(y, layer.epilogue, residual=a, reference=True)
+        np.testing.assert_array_equal(model.run(x), a)
+
+    def test_residual_epilogue_through_square_stack(self):
+        rng = np.random.default_rng(3)
+        ws = [rng.standard_normal((48, 48)) for _ in range(2)]
+        x = rng.standard_normal((6, 48))
+        model = _compile(ws, epilogue="dropout_residual_layernorm")
+        a = np.atleast_2d(x)
+        for i, layer in enumerate(model.layers):
+            y = tw_gemm(a, layer.tw, plan=layer.plans.get(
+                model.placement.device_for_layer(i, model.n_layers)))
+            a = apply_epilogue(y, layer.epilogue, residual=a, reference=True)
+        np.testing.assert_array_equal(model.run(x), a)
+        np.testing.assert_array_equal(_serve_once(model, x), model.run(x))
+
+    def test_residual_epilogue_rejects_non_square_layers(self):
+        ws, _ = _stack()
+        with pytest.raises(ValueError, match="square"):
+            _compile(ws, epilogue="dropout_residual_layernorm")
+
+    @pytest.mark.parametrize(
+        "kwargs", [{}, {"executor": "threaded"}, {"executor": "process", "workers": 2}]
+    )
+    def test_serve_matches_run_under_every_executor(self, kwargs):
+        ws, x = _stack()
+        model = _compile(ws, epilogue="bias_gelu")
+        np.testing.assert_array_equal(
+            _serve_once(model, x, **kwargs), model.run(x)
+        )
+
+    def test_per_layer_epilogue_sequence(self):
+        ws, x = _stack()
+        model = _compile(ws, epilogue=["bias_gelu", None, "bias_layernorm"])
+        assert model.layers[0].epilogue.name == "bias_gelu"
+        assert model.layers[1].epilogue is None
+        assert model.layers[2].epilogue.name == "bias_layernorm"
+        with pytest.raises(ValueError, match="entries"):
+            _compile(ws, epilogue=["bias_gelu"])
+
+    def test_registry_lists_all_epilogues(self):
+        assert EPILOGUES.names() == [
+            "bias_gelu", "bias_layernorm", "dropout_residual_layernorm",
+        ]
+        from repro.cli import _info_record
+
+        assert _info_record()["registries"]["epilogues"] == EPILOGUES.names()
+
+
+class TestCacheKeys:
+    """Format-cache keys must split on storage dtype, never on epilogue."""
+
+    def test_format_keys_distinct_across_storage_dtypes(self):
+        ws, x = _stack()
+        keys = {}
+        for dtype in DTYPES:
+            model = _compile(ws, dtype=dtype)
+            server = model.serve()
+            try:
+                server.submit(x)
+                server.flush()
+                keys[dtype] = {
+                    server._format_key(l) for l in server._layers
+                }
+            finally:
+                server.close()
+        flat = [k for ks in keys.values() for k in ks]
+        assert len(flat) == len(set(flat)), "format keys collided across dtypes"
+
+    def test_epilogue_shares_formats_but_not_outputs(self):
+        # compaction/planning are epilogue-independent by design: two
+        # models differing only in epilogue produce identical format keys
+        # (the artifacts are shareable) yet different outputs
+        ws, x = _stack()
+        plain = _compile(ws)
+        fused = _compile(ws, epilogue="bias_gelu")
+        s_plain, s_fused = plain.serve(), fused.serve()
+        try:
+            k_plain = [s_plain._format_key(l) for l in s_plain._layers]
+            k_fused = [s_fused._format_key(l) for l in s_fused._layers]
+            assert k_plain == k_fused
+        finally:
+            s_plain.close()
+            s_fused.close()
+        assert not np.array_equal(plain.run(x), fused.run(x))
+
+    def test_preload_rejects_mismatched_storage_dtype(self):
+        ws, _ = _stack()
+        model = _compile(ws, dtype="float16")
+        server = model.serve()
+        try:
+            tw64 = _compile(ws).layers[0].tw
+            assert server.preload(0, tw64) is False
+            tw16 = model.layers[0].tw
+            assert server.preload(0, tw16) is True
+        finally:
+            server.close()
+
+
+class TestArenaRoundTrip:
+    """Non-float64 payloads and per-tile scales survive the shm hop."""
+
+    @pytest.mark.parametrize("dtype", ["float32", "float16", "int8"])
+    def test_attach_preserves_dtype_and_scales(self, dtype):
+        ws, _ = _stack()
+        tw = _compile(ws, dtype=dtype).layers[0].tw
+        ref = arena.place(("mp-test", dtype), tw)
+        try:
+            got = arena.attach(ref)
+            assert [t.data.dtype for t in got.tiles] == [
+                t.data.dtype for t in tw.tiles
+            ]
+            assert [t.scale for t in got.tiles] == [t.scale for t in tw.tiles]
+            np.testing.assert_array_equal(got.to_dense(), tw.to_dense())
+        finally:
+            arena.detach_all()
+            arena.release(("mp-test", dtype))
+        assert arena.leaked_segments() == []
+
+    def test_int8_scales_are_not_neutral(self):
+        ws, _ = _stack()
+        tw = _compile(ws, dtype="int8").layers[0].tw
+        assert tw.quantized
+        assert any(t.scale != 1.0 for t in tw.tiles)
+
+
+class TestSaveLoadRoundTrip:
+    @pytest.mark.parametrize("dtype", ["float16", "int8"])
+    def test_dtype_models_round_trip(self, dtype, tmp_path):
+        ws, x = _stack()
+        model = _compile(ws, dtype=dtype, epilogue="bias_gelu")
+        path = model.save(tmp_path / "m.npz")
+        back = repro.load(path)
+        np.testing.assert_array_equal(back.run(x), model.run(x))
+        for a, b in zip(model.layers, back.layers):
+            assert [t.scale for t in a.tw.tiles] == [t.scale for t in b.tw.tiles]
+            assert (a.epilogue is None) == (b.epilogue is None)
+            if a.epilogue is not None:
+                assert a.epilogue.name == b.epilogue.name
+                np.testing.assert_array_equal(a.epilogue.bias, b.epilogue.bias)
+
+
+class TestKernelDtypePolicy:
+    def test_layernorm_preserves_storage_dtype(self):
+        # satellite fix: layernorm used to upcast everything to float64;
+        # it must preserve the input dtype and accumulate in fp32
+        rng = np.random.default_rng(5)
+        for dtype in ("float32", "float16"):
+            x = rng.standard_normal((4, 16)).astype(dtype)
+            assert layernorm(x).dtype == np.dtype(dtype)
+        assert layernorm(rng.standard_normal((4, 16))).dtype == np.float64
+
+    def test_resolve_spec_neutral_params_and_validation(self):
+        spec = resolve_epilogue_spec("bias_gelu", n=8)
+        assert isinstance(spec, EpilogueSpec)
+        assert spec.bias.shape == (8,) and not spec.bias.any()
+        with pytest.raises(KeyError):
+            resolve_epilogue_spec("not_an_epilogue", n=8)
+
+    def test_price_dtype_axis(self):
+        model = repro.compile("bert", sparsity=0.75)
+        base = model.price()
+        fp32 = model.price(dtype="float32")
+        fp16 = model.price(dtype="float16")
+        assert base.dtype == "" and fp32.dtype == "float32"
+        assert fp32.engine == "cuda_core" and fp16.engine == "tensor_core"
+        # the modeled device-time win the mixed_precision BENCH records
+        assert fp16.end_to_end.gemm_us < fp32.end_to_end.gemm_us / 1.3

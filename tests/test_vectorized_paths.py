@@ -43,7 +43,7 @@ from repro.kernels.spmm import (
     spmm_rowwise_reference,
 )
 from repro.kernels.im2col import col2im, col2im_reference, im2col
-from repro.kernels.masked import tw_gemm, tw_gemm_reference
+from repro.kernels.masked import DTYPE_TOLERANCES, tw_gemm, tw_gemm_reference
 from repro.kernels.transpose import blocked_transpose, blocked_transpose_reference
 from repro.runtime.batching import batching_plan
 from repro.runtime.scheduler import build_execution_plan
@@ -470,6 +470,67 @@ class TestTWGemmBatched:
         first = tw_gemm(a, tw)
         assert "_group_operands" in tw.__dict__  # memo materialised
         np.testing.assert_array_equal(tw_gemm(a, tw), first)
+
+    # --- the explicit oracle-comparison policy (mixed precision) -------
+    # tw_gemm_reference is the float-payload scalar oracle and promotes
+    # its output to float64; the batched path preserves the storage
+    # dtype.  Policy: compare in the *batched path's* dtype (reference
+    # output cast to it), within the DTYPE_TOLERANCES table.
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "float16"])
+    def test_float_dtypes_match_oracle_within_policy(self, dtype):
+        rng = np.random.default_rng(11)
+        k, n, g = 32, 48, 8
+        col_keep = rng.random(n) < 0.7
+        groups = TiledTWMatrix.column_groups(col_keep, g)
+        row_masks = [rng.random(k) < 0.6 for _ in groups]
+        dense = rng.standard_normal((k, n))
+        tw = TiledTWMatrix.from_masks(
+            dense, g, col_keep, row_masks, dtype=np.dtype(dtype)
+        )
+        a = rng.standard_normal((6, k)).astype(dtype)
+        got = tw_gemm(a, tw)
+        assert got.dtype == np.dtype(dtype)
+        want = tw_gemm_reference(a, tw).astype(dtype)
+        tol = DTYPE_TOLERANCES[dtype]
+        np.testing.assert_allclose(got, want, rtol=tol["rtol"], atol=tol["atol"])
+
+    def test_int8_matches_dequantised_float_path(self):
+        # int8 has no scalar oracle: the policy compares against the
+        # float64 tw_gemm over the dequantised weights (to_dense carries
+        # the per-tile scales), which bounds the error at exactly the
+        # quantisation error
+        rng = np.random.default_rng(12)
+        k, n, g = 32, 48, 8
+        col_keep = rng.random(n) < 0.7
+        groups = TiledTWMatrix.column_groups(col_keep, g)
+        row_masks = [rng.random(k) < 0.6 for _ in groups]
+        dense = rng.standard_normal((k, n))
+        tw8 = TiledTWMatrix.from_masks(
+            dense, g, col_keep, row_masks, dtype=np.dtype("int8")
+        )
+        assert tw8.quantized
+        a = rng.standard_normal((6, k)).astype(np.float32)
+        got = tw_gemm(a, tw8)
+        assert got.dtype == np.float32  # fp32 accumulation, float out
+        want = a.astype(np.float64) @ tw8.to_dense().astype(np.float64)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-5)
+
+    def test_compute_operand_memo_reused_across_calls(self):
+        # fp16 storage accumulates in fp32: the upcast operand is memoised
+        # per (group, compute dtype) so a serving loop upcasts once
+        rng = np.random.default_rng(13)
+        col_keep = np.ones(8, dtype=bool)
+        masks = [np.ones(16, dtype=bool), np.ones(16, dtype=bool)]
+        dense = rng.standard_normal((16, 8))
+        tw = TiledTWMatrix.from_masks(dense, 4, col_keep, masks, dtype=np.float16)
+        a = rng.standard_normal((3, 16)).astype(np.float16)
+        first = tw_gemm(a, tw)
+        ccache = tw.__dict__["_compute_operands"]
+        ids = {k: id(v) for k, v in ccache.items()}
+        again = tw_gemm(a, tw)
+        assert {k: id(v) for k, v in ccache.items()} == ids  # no rebuild
+        np.testing.assert_array_equal(first, again)
 
 
 class TestCol2ImEquivalence:
