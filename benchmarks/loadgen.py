@@ -1,21 +1,31 @@
-"""Standalone load-generator harness for the async serving ingress.
+"""Standalone load-generator harness for the serving ingress.
 
-Drives a demo model through :class:`repro.runtime.ingress.ServingLoop`
-with the seeded traffic shapes from :mod:`repro.runtime.loadgen` — the
-same machinery `repro serve --continuous` and the ``server_ingress``
-BENCH section use — and prints (or writes) the JSON-ready result:
+Drives a demo model with the seeded traffic shapes from
+:mod:`repro.runtime.loadgen` — the same machinery ``repro serve
+--continuous``, the ``server_ingress``/``server_http`` BENCH sections
+and the CI smoke jobs use — and prints (or writes) the JSON-ready
+result.  Two transports:
+
+- ``--transport inproc`` (default): submit straight into a
+  :class:`~repro.runtime.ingress.ServingLoop` in this process.
+- ``--transport http``: the same load over real sockets through
+  :class:`~repro.runtime.netclient.HttpLoadTransport`.  With ``--url``
+  it drives an already-running ``repro serve --http`` server (the demo
+  model flags must match the server's so request widths agree);
+  without, it self-hosts one on an ephemeral port for the run.
 
     PYTHONPATH=src python benchmarks/loadgen.py --mode open \\
         --rate 100 --duration 2 --arrival poisson
-    PYTHONPATH=src python benchmarks/loadgen.py --mode closed \\
-        --clients 8 --requests-per-client 16 --executor threaded
+    PYTHONPATH=src python benchmarks/loadgen.py --transport http \\
+        --url http://127.0.0.1:8080 --mode open --rate 40 --duration 5
 
 Open loop: requests arrive on a seeded Poisson/fixed schedule
 regardless of completions, so percentiles reflect real queueing.
 Closed loop: N clients issue back-to-back requests; the achieved rate
 is the saturation throughput.  ``--mode both`` runs the closed loop
 first and offers the open loop at ``--load-fraction`` of the measured
-saturation rate.
+saturation rate.  Over HTTP, latencies are client-observed wall times
+— network overhead included.
 """
 
 from __future__ import annotations
@@ -37,14 +47,27 @@ except ImportError:  # direct invocation without PYTHONPATH=src
 from repro.api import demo_layer_stack
 from repro.runtime.ingress import ServingLoop
 from repro.runtime.loadgen import ARRIVALS, run_closed_loop, run_open_loop
+from repro.runtime.netclient import HttpLoadTransport
 
 
-def build_loop(args) -> tuple[ServingLoop, list[np.ndarray]]:
-    """Compile the demo model and wrap a fresh server in a ServingLoop."""
+def request_pool(args) -> list[np.ndarray]:
+    """The seeded request set; derived from flags only, so a remote
+    ``repro serve --http`` started with the same model flags agrees on K."""
+    weights, _names = demo_layer_stack(
+        args.model, scale=args.scale, blocks=args.blocks, seed=args.seed
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    return [
+        rng.standard_normal((args.rows, weights[0].shape[0])).astype(args.dtype)
+        for _ in range(32)
+    ]
+
+
+def compile_demo(args):
     weights, names = demo_layer_stack(
         args.model, scale=args.scale, blocks=args.blocks, seed=args.seed
     )
-    model = repro.compile(
+    return repro.compile(
         weights,
         pattern="tw",
         sparsity=args.sparsity,
@@ -52,18 +75,17 @@ def build_loop(args) -> tuple[ServingLoop, list[np.ndarray]]:
         dtype=np.dtype(args.dtype),
         names=names,
     )
-    loop = model.serve_async(
+
+
+def build_loop(args) -> tuple[ServingLoop, list[np.ndarray]]:
+    """Compile the demo model and wrap a fresh server in a ServingLoop."""
+    loop = compile_demo(args).serve_async(
         executor=args.executor,
         stats_interval_s=args.stats_interval_s,
         max_wave_rows=args.max_wave_rows,
     )
     loop.server.warm()
-    rng = np.random.default_rng(args.seed + 1)
-    xs = [
-        rng.standard_normal((args.rows, weights[0].shape[0])).astype(args.dtype)
-        for _ in range(32)
-    ]
-    return loop, xs
+    return loop, request_pool(args)
 
 
 async def run(args) -> dict:
@@ -99,10 +121,73 @@ async def run(args) -> dict:
     return record
 
 
+async def run_http(args, url: str) -> dict:
+    """The same traffic shapes, but through sockets against ``url``."""
+    xs = request_pool(args)
+    record: dict = {}
+    if args.mode in ("closed", "both"):
+        async with HttpLoadTransport.from_url(
+            url, connections=args.connections
+        ) as transport:
+            closed = await run_closed_loop(
+                transport,
+                lambda i: xs[i % len(xs)],
+                clients=args.clients,
+                requests_per_client=args.requests_per_client,
+            )
+        record["closed"] = closed.record()
+        if args.mode == "both":
+            args.rate = round(
+                max(1.0, args.load_fraction * closed.achieved_rps), 1
+            )
+    if args.mode in ("open", "both"):
+        async with HttpLoadTransport.from_url(
+            url, connections=args.connections
+        ) as transport:
+            opened = await run_open_loop(
+                transport,
+                lambda i: xs[i % len(xs)],
+                rate=args.rate,
+                duration_s=args.duration,
+                arrival=args.arrival,
+                seed=args.seed + 2,
+                deadline_s=args.deadline_s,
+            )
+            record["server"] = await transport.stats()
+        record["open"] = opened.record()
+    return record
+
+
+def run_transport(args) -> dict:
+    if args.transport == "inproc":
+        return asyncio.run(run(args))
+    if args.url:
+        return asyncio.run(run_http(args, args.url))
+    # self-host: model + ServingLoop + NetServer on a daemon thread,
+    # driven over loopback — the full network path in one command
+    net = compile_demo(args).serve_http(
+        port=0,
+        executor=args.executor,
+        max_wave_rows=args.max_wave_rows,
+        stats_interval_s=args.stats_interval_s,
+    )
+    with net:
+        return asyncio.run(run_http(args, f"http://127.0.0.1:{net.port}"))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--model", default="bert", choices=["bert", "vgg", "nmt"])
     parser.add_argument("--mode", default="both", choices=["open", "closed", "both"])
+    parser.add_argument("--transport", default="inproc", choices=["inproc", "http"],
+                        help="submit in-process, or over real sockets "
+                             "through the HTTP front")
+    parser.add_argument("--url", default=None, metavar="URL",
+                        help="drive an already-running `repro serve --http` "
+                             "server (--transport http; default: self-host "
+                             "one on an ephemeral port)")
+    parser.add_argument("--connections", type=int, default=16,
+                        help="pooled keep-alive connections (--transport http)")
     parser.add_argument("--rate", type=float, default=50.0,
                         help="offered req/s (open loop)")
     parser.add_argument("--duration", type=float, default=2.0,
@@ -131,8 +216,12 @@ def main() -> int:
     parser.add_argument("--json", type=Path, default=None, metavar="PATH",
                         help="also write the record to PATH")
     args = parser.parse_args()
+    if args.url and args.transport != "http":
+        parser.error("--url requires --transport http")
+    if args.connections < 1:
+        parser.error("--connections must be >= 1")
 
-    record = asyncio.run(run(args))
+    record = run_transport(args)
     text = json.dumps(record, indent=2, sort_keys=True)
     print(text)
     if args.json:

@@ -539,6 +539,55 @@ class CompiledTWModel:
             owns_server=True,
         )
 
+    def serve_http(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        drain_timeout_s: float = 30.0,
+        stats_json: str | None = None,
+        max_wave_rows: int | None = None,
+        stats_interval_s: float = 0.0,
+        **serve_overrides,
+    ):
+        """A network front door over this model: HTTP ingress + loop + server.
+
+        Stacks the whole serving pipeline — :meth:`serve` server (same
+        ``config``/override semantics), continuous-batching
+        :class:`~repro.runtime.ingress.ServingLoop`, and a
+        :class:`~repro.runtime.netserve.NetServer` that owns both — so
+        remote clients hit ``POST /v1/infer`` with the binary tensor
+        wire format (or JSON), per-request ``X-Deadline-Ms`` budgets,
+        and honest 429/504/500 terminal statuses.  Run it blocking
+        (``.run()`` — drains gracefully on SIGTERM), inside an event
+        loop (``async with``), or on a daemon thread (``with``)::
+
+            net = model.serve_http(port=8080, executor="threaded")
+            net.run()                       # serves until SIGTERM
+
+        ``port=0`` binds an ephemeral port (read ``net.port`` once
+        started); ``drain_timeout_s`` bounds the graceful drain so
+        shutdown cannot hang past the server watchdog; ``stats_json``
+        writes a final stats snapshot on shutdown.
+        """
+        from repro.runtime.netserve import NetServer
+
+        loop = self.serve_async(
+            config,
+            max_wave_rows=max_wave_rows,
+            stats_interval_s=stats_interval_s,
+            **serve_overrides,
+        )
+        return NetServer(
+            loop,
+            host=host,
+            port=port,
+            drain_timeout_s=drain_timeout_s,
+            stats_json=stats_json,
+            owns_loop=True,
+        )
+
     # ------------------------------------------------------------------ #
     # serialization
     # ------------------------------------------------------------------ #

@@ -222,6 +222,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--stats-interval-s", type=float, default=0.0,
                          help="emit a one-line ingress stats log every N "
                               "seconds during --continuous (0 = off)")
+    p_serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                         help="network mode: serve POST /v1/infer (binary "
+                              "tensor wire format or JSON), GET /healthz and "
+                              "GET /v1/stats over HTTP on PORT (0 = pick a "
+                              "free port) until SIGTERM/Ctrl-C, then drain "
+                              "gracefully; --requests/--rate/--duration are "
+                              "ignored — traffic comes from the network")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address for --http (default loopback)")
+    p_serve.add_argument("--drain-timeout-s", type=float, default=30.0,
+                         help="bound on the graceful drain at --http "
+                              "shutdown; stragglers past it are failed "
+                              "instead of hanging the exit")
 
     p_info = sub.add_parser("info", help="device spec and calibration constants")
     p_info.add_argument("--json", action="store_true",
@@ -472,6 +485,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.stats_interval_s < 0:
         print("error: --stats-interval-s must be >= 0", file=sys.stderr)
         return 2
+    if args.http is not None and args.continuous:
+        print("error: --http and --continuous are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.http is not None and not (0 <= args.http <= 65535):
+        print("error: --http port must be in [0, 65535]", file=sys.stderr)
+        return 2
+    if args.drain_timeout_s <= 0:
+        print("error: --drain-timeout-s must be > 0", file=sys.stderr)
+        return 2
     from repro.gpu.device import V100
 
     placement = Placement(args.placement, (V100,) * args.devices)
@@ -506,6 +529,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:  # e.g. a malformed --faults spec
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.http is not None:
+        return _serve_http(args, model, placement, server)
     if args.continuous:
         return _serve_continuous(args, model, placement, server, weights)
     from repro.runtime.server import QueueFullError
@@ -590,6 +615,60 @@ def _dump_stats_json(path: str, record: dict) -> None:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"stats written to {path}")
+
+
+def _serve_http(args, model, placement, server) -> int:
+    """``repro serve --http PORT``: the network front door.
+
+    Stacks a :class:`ServingLoop` and :class:`NetServer` over the
+    already-built server and blocks until SIGTERM/Ctrl-C, then drains
+    gracefully (bounded by ``--drain-timeout-s``) and — HTTP mode
+    included — writes the final ``--stats-json`` snapshot on the way
+    out.
+    """
+    from repro.analysis import format_table
+    from repro.runtime.ingress import ServingLoop
+    from repro.runtime.netserve import NetServer
+
+    ingress = ServingLoop(
+        server,
+        stats_interval_s=args.stats_interval_s,
+        stats_log=print,
+    )
+    net = NetServer(
+        ingress,
+        host=args.host,
+        port=args.http,
+        drain_timeout_s=args.drain_timeout_s,
+        stats_json=args.stats_json,
+        log_fn=print,
+        owns_loop=True,
+    )
+    try:
+        net.run()
+    finally:
+        # the loop does not own this server (the CLI built it); close for
+        # deterministic teardown — worker pool down, arenas unlinked
+        server.close()
+    record = net.final_stats or {}
+    st = record.get("latency_ms", {})
+    rows = [
+        ["model", f"{args.model} ({model.n_layers} layers, scale 1/{args.scale})"],
+        ["placement", f"{placement.kind} x{placement.n_devices}"],
+        ["executor", server.executor.describe()],
+        ["endpoint", f"http://{args.host}:{net.port}/v1/infer"],
+        ["requests seen (HTTP)", record.get("net", {}).get("requests_seen", 0)],
+        ["requests served", record.get("requests", 0)],
+        ["waves", record.get("waves", {}).get("count", 0)],
+        ["latency p50/p95/p99", "{} / {} / {} ms".format(
+            st.get("p50", 0.0), st.get("p95", 0.0), st.get("p99", 0.0)
+        )],
+        ["drained cleanly", record.get("net", {}).get("drained", True)],
+    ]
+    if server.config.faults is not None:
+        rows.append(["faults injected", server.config.faults.total_fired])
+    print(format_table(["metric", "value"], rows))
+    return 0
 
 
 def _serve_continuous(args, model, placement, server, weights) -> int:

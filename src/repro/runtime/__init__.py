@@ -54,7 +54,16 @@ Modules
   drain of the same stream;
 - :mod:`repro.runtime.loadgen` — seeded open/closed-loop load
   generation (Poisson / fixed-rate arrivals) with latency percentiles,
-  driving :class:`ServingLoop` for benchmarks and the CLI.
+  driving :class:`ServingLoop` for benchmarks and the CLI;
+- :mod:`repro.runtime.wire` — the versioned binary tensor frame +
+  JSON fallback and the shared HTTP/1.1 framing helpers;
+- :mod:`repro.runtime.netserve` — :class:`NetServer`, the dependency-free
+  asyncio HTTP front door over :class:`ServingLoop` (``POST /v1/infer``
+  with deadline propagation and status→HTTP mapping, ``/healthz``,
+  ``/v1/stats``, graceful SIGTERM drain);
+- :mod:`repro.runtime.netclient` — stdlib blocking + asyncio clients and
+  the pooled :class:`HttpLoadTransport` that lets the load generator
+  drive real sockets.
 """
 
 from repro.runtime.arena import ArenaRef, leaked_segments
@@ -79,6 +88,14 @@ from repro.runtime.faults import (
 )
 from repro.runtime.ingress import IngressClosed, ServingLoop
 from repro.runtime.layout import TransposePlan, transpose_cost
+from repro.runtime.netclient import (
+    AsyncInferClient,
+    HttpLoadTransport,
+    InferClient,
+    NetResult,
+)
+from repro.runtime.netserve import NetServer
+from repro.runtime.wire import WireError
 from repro.runtime.batching import BatchGroup, batching_plan
 from repro.runtime.placement import PLACEMENTS, Placement, resolve_placement
 from repro.runtime.scheduler import (
@@ -135,5 +152,11 @@ __all__ = [
     "ServedRequest",
     "ServingLoop",
     "IngressClosed",
+    "NetServer",
+    "InferClient",
+    "AsyncInferClient",
+    "HttpLoadTransport",
+    "NetResult",
+    "WireError",
     "weight_fingerprint",
 ]

@@ -133,31 +133,46 @@ class ServingLoop:
     # submission
     # ------------------------------------------------------------------ #
     async def submit(
-        self, x: np.ndarray, *, deadline_s: float | None = None
+        self,
+        x: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+        enqueued_at: float | None = None,
     ) -> ServedRequest:
         """Stream one request in; await its terminal :class:`ServedRequest`."""
-        return await self.submit_nowait(x, deadline_s=deadline_s)
+        return await self.submit_nowait(x, deadline_s=deadline_s, enqueued_at=enqueued_at)
 
     def submit_nowait(
-        self, x: np.ndarray, *, deadline_s: float | None = None
+        self,
+        x: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+        enqueued_at: float | None = None,
     ) -> "asyncio.Future[ServedRequest]":
         """Enqueue one request; return its future without awaiting it.
 
         Must be called from a running event loop (it is not thread-safe —
         cross-thread producers should use
-        ``loop.call_soon_threadsafe``).  The arrival timestamp is taken
-        here, so time spent in the ingress backlog counts toward the
-        request's reported latency and its deadline budget.
+        ``loop.call_soon_threadsafe``).  The arrival timestamp defaults
+        to *now* but a front that observed the request earlier (e.g. the
+        HTTP server, at socket accept) may pass ``enqueued_at`` — a past
+        ``time.perf_counter()`` stamp — so reported latency and deadline
+        budgets start at true arrival, not at parse time.
         """
         if self._closing or self._closed:
             raise IngressClosed("ServingLoop is closed to new submissions")
+        now = time.perf_counter()
+        if enqueued_at is None:
+            enqueued_at = now
+        elif enqueued_at > now:
+            raise ValueError("enqueued_at must not be in the future")
         self._ensure_started()
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         self._backlog.append(
             _Arrival(
                 x=np.atleast_2d(np.asarray(x)),
                 deadline_s=deadline_s,
-                enqueued_at=time.perf_counter(),
+                enqueued_at=enqueued_at,
                 future=fut,
             )
         )
@@ -196,9 +211,23 @@ class ServingLoop:
                 self._stats_loop(), name="repro-ingress-stats"
             )
 
-    async def drain(self) -> None:
-        """Wait until every accepted request has reached a terminal result."""
-        await self._idle.wait()
+    async def drain(self, *, timeout_s: float | None = None) -> bool:
+        """Wait until every accepted request has reached a terminal result.
+
+        With ``timeout_s`` the wait is bounded: returns ``True`` once
+        idle, ``False`` if requests are still in flight when the budget
+        expires (so graceful shutdown can stop waiting and hand the
+        stragglers to :meth:`close`, instead of hanging past the
+        server's own watchdog).
+        """
+        if timeout_s is None:
+            await self._idle.wait()
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False
 
     async def close(self) -> None:
         """Drain the backlog, stop the loop, release the flush thread.

@@ -1,6 +1,10 @@
 """Seeded load generation for the async serving ingress.
 
-Two canonical traffic shapes drive a :class:`~repro.runtime.ingress.ServingLoop`:
+Two canonical traffic shapes drive any *transport* with the
+:class:`~repro.runtime.ingress.ServingLoop` submit surface — the
+in-process loop itself, or
+:class:`~repro.runtime.netclient.HttpLoadTransport` for the same load
+over real sockets (``--transport http``):
 
 - **Open loop** (:func:`run_open_loop`): requests arrive on a
   pre-computed schedule — Poisson (seeded exponential inter-arrivals)
@@ -16,6 +20,12 @@ Both return a :class:`LoadResult` with p50/p95/p99 latency, the
 queue-wait/service split, and achieved throughput — JSON-ready via
 :meth:`LoadResult.record`.  Arrival schedules are deterministic per
 seed; actual wall-clock jitter comes only from the host scheduler.
+Results are duck-typed (``status``/``rows``/``latency_s``/
+``queue_wait_s``/``service_s``), so in-process
+:class:`~repro.runtime.server.ServedRequest` and network
+:class:`~repro.runtime.netclient.NetResult` summarise identically —
+over HTTP, ``latency_s`` is the client-observed wall time, which is
+exactly what makes network overhead an honest measured column.
 
 This module lives in the runtime package (not ``benchmarks/``) so the
 CLI's ``repro serve --continuous`` can import it from the installed
@@ -30,9 +40,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
-
-from repro.runtime.ingress import ServingLoop
-from repro.runtime.server import ServedRequest
 
 __all__ = [
     "ARRIVALS",
@@ -108,7 +115,9 @@ class LoadResult:
     latency_ms: dict
     queue_wait_ms: dict
     service_ms: dict
-    served: list[ServedRequest] = field(repr=False, default_factory=list)
+    #: per-request terminal results (ServedRequest in process, NetResult
+    #: over HTTP)
+    served: list = field(repr=False, default_factory=list)
 
     @property
     def all_ok(self) -> bool:
@@ -139,7 +148,7 @@ def _summarise(
     arrival: str | None,
     offered_rps: float | None,
     wall_s: float,
-    served: list[ServedRequest],
+    served: list,
 ) -> LoadResult:
     statuses: dict[str, int] = {}
     for r in served:
@@ -165,7 +174,7 @@ def _summarise(
 
 
 async def run_open_loop(
-    ingress: ServingLoop,
+    ingress,
     make_request: Callable[[int], np.ndarray],
     *,
     rate: float,
@@ -176,6 +185,8 @@ async def run_open_loop(
 ) -> LoadResult:
     """Offer requests on a seeded arrival schedule; await all terminals.
 
+    ``ingress`` is any transport with the :class:`ServingLoop` submit
+    surface (the loop itself, or an ``HttpLoadTransport``).
     ``make_request(i)`` supplies the ``i``-th request's activations.
     Submissions never wait for completions (open loop): every arrival is
     pushed at its scheduled offset via
@@ -197,7 +208,7 @@ async def run_open_loop(
 
 
 async def run_closed_loop(
-    ingress: ServingLoop,
+    ingress,
     make_request: Callable[[int], np.ndarray],
     *,
     clients: int = 4,
@@ -214,7 +225,7 @@ async def run_closed_loop(
         raise ValueError("clients and requests_per_client must be positive")
     start = time.perf_counter()
 
-    async def client(c: int) -> list[ServedRequest]:
+    async def client(c: int) -> list:
         out = []
         for j in range(requests_per_client):
             i = c * requests_per_client + j

@@ -751,6 +751,11 @@ class TWModelServer:
         """Registered layers."""
         return len(self._layers)
 
+    @property
+    def model_k(self) -> int | None:
+        """Input width a request row must have (``None`` before layers)."""
+        return int(self._layers[0].dense.shape[0]) if self._layers else None
+
     def shard_layout(self) -> list[str]:
         """Device slot (``name#index``) owning each layer under the placement."""
         return self.placement.shard_labels(self.n_layers)

@@ -286,6 +286,28 @@ class TestLifecycle:
         served = asyncio.run(go())
         assert all(s.status == "ok" for s in served)
 
+    def test_drain_timeout_bounds_the_wait(self):
+        # a latency fault keeps the flush busy past the bound: drain
+        # reports False instead of hanging, then an unbounded retry
+        # still sees every terminal
+        layers = _layers(48)
+        server = _server(
+            layers, faults="latency:rate=1.0:duration=0.2:seed=1"
+        )
+
+        async def go():
+            async with ServingLoop(
+                server, owns_server=True, max_wave_rows=4
+            ) as loop:
+                assert await loop.drain(timeout_s=0.5) is True  # idle: fast
+                fut = loop.submit_nowait(_requests(49, n=1)[0])
+                assert await loop.drain(timeout_s=0.01) is False
+                assert not fut.done()
+                assert await loop.drain(timeout_s=30.0) is True
+                assert fut.done() and fut.result().status == "ok"
+
+        asyncio.run(go())
+
     def test_rejects_nonpositive_wave_cap(self):
         with pytest.raises(ValueError, match="positive"):
             ServingLoop(_server(_layers(47)), max_wave_rows=0)

@@ -1,0 +1,489 @@
+"""Network serving front: wire protocol, HTTP server and clients (ISSUE 10).
+
+The core property mirrors the ingress suite one level further out:
+responses served over real sockets are bit-identical (float64 binary
+wire format) to the in-process ``serve_async`` path on the same
+requests — including under injected faults, where every request must
+still get a *terminal* HTTP response (200/429/500/504), never a hang or
+a traceback over the wire.  Plus the protocol satellites: strict
+request validation → 400 with a structured JSON error body, deadline
+header → 504, backpressure → 429 with ``Retry-After``, graceful drain
+with a final stats flush.
+
+The servers here run on a background daemon thread (``NetServer`` as a
+context manager) against ``127.0.0.1`` ephemeral ports; clients are the
+stdlib-only ones from :mod:`repro.runtime.netclient`.
+"""
+
+import asyncio
+import contextlib
+import json
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.tile_sparsity import TWPruneConfig, tw_prune_step
+from repro.runtime import (
+    InferClient,
+    NetServer,
+    ServerConfig,
+    ServingLoop,
+    TWModelServer,
+)
+from repro.runtime import wire
+from repro.runtime.loadgen import run_open_loop
+from repro.runtime.netclient import (
+    AsyncInferClient,
+    HttpLoadTransport,
+    _split_http_url,
+)
+
+HTTP_TERMINAL = {200, 429, 500, 504}
+
+
+def _pruned_layer(rng, k, n, sparsity=0.5, g=8):
+    dense = rng.standard_normal((k, n))
+    step = tw_prune_step([np.abs(dense)], sparsity, TWPruneConfig(granularity=g))
+    return dense, step.col_keeps[0], step.row_masks[0]
+
+
+def _layers(seed, n_layers=2, k=24, g=8):
+    rng = np.random.default_rng(seed)
+    return [_pruned_layer(rng, k, k, g=g) for _ in range(n_layers)]
+
+
+def _server(layers, **cfg_kw):
+    cfg_kw.setdefault("granularity", 8)
+    server = TWModelServer(ServerConfig(**cfg_kw))
+    for dense, ck, rm in layers:
+        server.add_layer(dense, ck, rm)
+    return server
+
+
+def _requests(seed, n=6, rows=2, k=24):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((rows, k)) for _ in range(n)]
+
+
+def _oracle_outputs(layers, reqs):
+    """Fault-free sequential inline drain: the bit-identity reference."""
+    server = _server(layers)
+    return [server.serve(x).output for x in reqs]
+
+
+@contextlib.contextmanager
+def _serving(server, *, max_wave_rows=4, **net_kw):
+    """A NetServer over ``server`` on a daemon thread, ready to accept."""
+    loop = ServingLoop(server, max_wave_rows=max_wave_rows)
+    net_kw.setdefault("drain_timeout_s", 10.0)
+    net = NetServer(loop, port=0, owns_loop=True, **net_kw)
+    with net:
+        yield net
+
+
+def _client(net):
+    return InferClient("127.0.0.1", net.port)
+
+
+class TestWireCodec:
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32, np.float64])
+    def test_binary_round_trip_bit_exact(self, dtype):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 7)).astype(dtype)
+        back = wire.decode_tensor(wire.encode_tensor(x))
+        assert back.dtype == x.dtype
+        np.testing.assert_array_equal(back, x)
+
+    def test_json_round_trip(self):
+        x = np.random.default_rng(1).standard_normal((3, 4))
+        back = wire.decode_json_tensor(wire.encode_json_tensor(x))
+        assert back.dtype == np.float64
+        np.testing.assert_array_equal(back, x)
+
+    @pytest.mark.parametrize("body,code", [
+        (b"short", "bad_payload"),
+        (b"XXX" + bytes([1]) + b"<f8".ljust(8, b"\0") + struct.pack("<II", 1, 1) + b"\0" * 8,
+         "bad_magic"),
+        (b"TWT" + bytes([9]) + b"<f8".ljust(8, b"\0") + struct.pack("<II", 1, 1) + b"\0" * 8,
+         "unsupported_version"),
+        (b"TWT" + bytes([1]) + b"<i8".ljust(8, b"\0") + struct.pack("<II", 1, 1) + b"\0" * 8,
+         "bad_dtype"),
+        (b"TWT" + bytes([1]) + b"@@@".ljust(8, b"\0") + struct.pack("<II", 1, 1) + b"\0" * 8,
+         "bad_dtype"),
+        (b"TWT" + bytes([1]) + b"<f8".ljust(8, b"\0") + struct.pack("<II", 0, 4),
+         "bad_shape"),
+        (b"TWT" + bytes([1]) + b"<f8".ljust(8, b"\0") + struct.pack("<II", 2, 4) + b"\0" * 8,
+         "length_mismatch"),
+    ])
+    def test_strict_binary_validation(self, body, code):
+        with pytest.raises(wire.WireError) as err:
+            wire.decode_tensor(body)
+        assert err.value.code == code
+
+    @pytest.mark.parametrize("body,code", [
+        (b"not json{", "bad_json"),
+        (b'{"y": [[1.0]]}', "bad_json"),
+        (b'{"x": [["a"]]}', "bad_payload"),
+        (b'{"x": [[1.0]], "dtype": "int32"}', "bad_dtype"),
+        (b'{"x": []}', "bad_shape"),
+    ])
+    def test_strict_json_validation(self, body, code):
+        with pytest.raises(wire.WireError) as err:
+            wire.decode_json_tensor(body)
+        assert err.value.code == code
+
+    def test_integer_payloads_refused_on_encode(self):
+        with pytest.raises(wire.WireError):
+            wire.encode_tensor(np.ones((2, 2), dtype=np.int8))
+
+    def test_url_split(self):
+        assert _split_http_url("http://127.0.0.1:8080") == ("127.0.0.1", 8080)
+        assert _split_http_url("127.0.0.1:9999") == ("127.0.0.1", 9999)
+        with pytest.raises(ValueError):
+            _split_http_url("https://127.0.0.1:1")
+
+
+class TestEndpoints:
+    def test_healthz_stats_and_routing(self):
+        layers = _layers(20)
+        server = _server(layers)
+        with server, _serving(server) as net:
+            c = _client(net)
+            status, doc = c.healthz()
+            assert status == 200 and doc["ready"] is True
+            assert doc["wire_version"] == wire.VERSION
+
+            c.infer(_requests(21, n=1)[0])
+            stats = c.stats()
+            assert stats["requests"] == 1
+            assert stats["net"]["requests_seen"] == 1
+            assert stats["ingress"]["closed"] is False
+
+            status, headers, body = c.request("GET", "/nope")
+            assert status == 404
+            assert json.loads(body)["error"]["code"] == "not_found"
+            status, _h, body = c.request("GET", "/v1/infer")
+            assert status == 405
+            assert json.loads(body)["error"]["code"] == "method_not_allowed"
+            c.close()
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_payload_encodings_bit_identical(self, binary):
+        # float64 survives both encodings exactly: the binary frame
+        # carries raw bytes, the JSON fallback round-trips via repr
+        layers = _layers(22)
+        reqs = _requests(23, n=4)
+        want = _oracle_outputs(layers, reqs)
+        server = _server(layers)
+        with server, _serving(server) as net:
+            c = _client(net)
+            for x, ref in zip(reqs, want):
+                r = c.infer(x, binary=binary)
+                assert r.status == "ok" and r.http_status == 200
+                assert r.output.dtype == np.float64
+                np.testing.assert_array_equal(r.output, ref)
+                assert r.request_id is not None
+                assert r.server_latency_s >= r.service_s >= 0.0
+            c.close()
+
+    def test_response_mirrors_request_encoding(self):
+        layers = _layers(24)
+        server = _server(layers)
+        with server, _serving(server) as net:
+            c = _client(net)
+            x = _requests(25, n=1)[0]
+            _st, headers, _body = c.request(
+                "POST", "/v1/infer", wire.encode_tensor(x),
+                {"Content-Type": wire.CONTENT_TYPE_TENSOR},
+            )
+            assert headers["content-type"] == wire.CONTENT_TYPE_TENSOR
+            assert headers["x-wire-version"] == str(wire.VERSION)
+            _st, headers, body = c.request(
+                "POST", "/v1/infer", wire.encode_json_tensor(x),
+                {"Content-Type": wire.CONTENT_TYPE_JSON},
+            )
+            assert headers["content-type"] == wire.CONTENT_TYPE_JSON
+            assert json.loads(body)["status"] == "ok"
+            c.close()
+
+    def test_keep_alive_idle_time_is_not_queue_wait(self):
+        # regression: the arrival anchor for keep-alive successors is the
+        # request's own arrival — idle time between requests on a pooled
+        # connection must not inflate reported latency
+        layers = _layers(26)
+        server = _server(layers)
+        with server, _serving(server) as net:
+            c = _client(net)
+            x = _requests(27, n=1)[0]
+            for _ in range(3):
+                time.sleep(0.1)  # idle keep-alive gap
+                r = c.infer(x)
+                assert r.status == "ok"
+                assert r.server_latency_s < 0.05
+            c.close()
+
+
+class TestValidationOverHttp:
+    def test_bad_payloads_get_structured_400(self):
+        layers = _layers(30)
+        server = _server(layers)
+        bad_frame = b"TWT" + bytes([9]) + b"<f8".ljust(8, b"\0") + struct.pack("<II", 1, 24) + b"\0" * 192
+        cases = [
+            (b"garbage", wire.CONTENT_TYPE_TENSOR, "bad_payload"),
+            (bad_frame, wire.CONTENT_TYPE_TENSOR, "unsupported_version"),
+            (b"{broken", wire.CONTENT_TYPE_JSON, "bad_json"),
+            (wire.encode_tensor(np.zeros((2, 25))), wire.CONTENT_TYPE_TENSOR,
+             "shape_mismatch"),
+        ]
+        with server, _serving(server) as net:
+            c = _client(net)
+            for body, ctype, code in cases:
+                status, headers, payload = c.request(
+                    "POST", "/v1/infer", body, {"Content-Type": ctype}
+                )
+                assert status == 400, (code, payload)
+                doc = json.loads(payload)  # structured, never a traceback
+                assert doc["error"]["code"] == code
+                assert "Traceback" not in doc["error"]["message"]
+            # server still healthy after a pile of rejects
+            r = c.infer(_requests(31, n=1)[0])
+            assert r.status == "ok"
+            c.close()
+
+    def test_bad_deadline_header_is_400(self):
+        layers = _layers(32)
+        server = _server(layers)
+        with server, _serving(server) as net:
+            c = _client(net)
+            x = wire.encode_tensor(_requests(33, n=1)[0])
+            for bad in ("abc", "-5", "inf"):
+                status, _h, payload = c.request(
+                    "POST", "/v1/infer", x,
+                    {"Content-Type": wire.CONTENT_TYPE_TENSOR, "X-Deadline-Ms": bad},
+                )
+                assert status == 400
+                assert json.loads(payload)["error"]["code"] == "bad_deadline"
+            c.close()
+
+    def test_oversized_body_is_refused(self):
+        layers = _layers(34)
+        server = _server(layers)
+        with server, _serving(server, max_body_bytes=1024) as net:
+            c = _client(net)
+            status, _h, payload = c.request(
+                "POST", "/v1/infer", b"\0" * 2048,
+                {"Content-Type": wire.CONTENT_TYPE_TENSOR},
+            )
+            assert status == 413
+            assert json.loads(payload)["error"]["code"] == "bad_request"
+            c.close()
+
+
+class TestSloOverHttp:
+    def test_deadline_header_expires_to_504(self):
+        layers = _layers(40)
+        server = _server(layers)
+        with server, _serving(server) as net:
+            c = _client(net)
+            r = c.infer(_requests(41, n=1)[0], deadline_ms=0.0)
+            assert r.http_status == 504
+            assert r.status == "expired"
+            assert r.error["code"] == "deadline_expired"
+            assert server.stats.expired == 1
+            c.close()
+
+    def test_backpressure_is_429_with_retry_after(self):
+        # queue bound of 1 row can never admit a 2-row request: the
+        # QueueFullError surfaces deterministically as 429 + Retry-After
+        layers = _layers(42)
+        server = _server(layers, max_queue_rows=1, shed_policy="reject")
+        with server, _serving(server) as net:
+            c = _client(net)
+            r = c.infer(_requests(43, n=1, rows=2)[0])
+            assert r.http_status == 429
+            assert r.status == "rejected"
+            assert r.error["code"] == "queue_full"
+            assert r.retry_after_s is not None and r.retry_after_s > 0
+            c.close()
+
+    def test_failed_request_is_500_with_isolated_error(self):
+        # a deterministic always-on exception fault exhausts retries and
+        # bisection isolates the poison request: 500, structured error
+        layers = _layers(44)
+        server = _server(layers, max_retries=1, faults="exception:rate=1.0:seed=5")
+        with server, _serving(server) as net:
+            c = _client(net)
+            r = c.infer(_requests(45, n=1)[0])
+            assert r.http_status == 500
+            assert r.status == "failed"
+            assert r.error["code"] == "request_failed"
+            assert "injected" in r.error["message"].lower()
+            c.close()
+
+
+class TestBitIdentityOverHttp:
+    def test_concurrent_clients_match_serve_async_float64(self):
+        # N concurrent HTTP clients vs the same requests streamed through
+        # an in-process ServingLoop: float64, bit for bit
+        layers = _layers(50, n_layers=3)
+        n_clients, per_client = 4, 4
+        reqs = _requests(51, n=n_clients * per_client)
+
+        async def inproc():
+            server = _server(layers)
+            with server:
+                async with ServingLoop(server, max_wave_rows=4) as loop:
+                    futs = [loop.submit_nowait(x) for x in reqs]
+                    return [r.output for r in await asyncio.gather(*futs)]
+
+        want = asyncio.run(inproc())
+
+        server = _server(layers)
+        outs: dict[int, np.ndarray] = {}
+        errors: list = []
+        with server, _serving(server) as net:
+            def worker(c_idx):
+                try:
+                    client = _client(net)
+                    for j in range(per_client):
+                        i = c_idx * per_client + j
+                        r = client.infer(reqs[i])
+                        assert r.status == "ok", r
+                        outs[i] = r.output
+                    client.close()
+                except BaseException as exc:  # surfaces in the main thread
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(c,)) for c in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30.0)
+        assert not errors, errors
+        assert len(outs) == len(reqs)
+        for i, ref in enumerate(want):
+            np.testing.assert_array_equal(outs[i], ref)
+
+    @pytest.mark.parametrize("spec,all_ok", [
+        ("exception:wave=1", True),
+        ("latency:rate=0.5:duration=0.002:seed=1", True),
+        ("exception:rate=0.3:seed=3", False),
+    ])
+    def test_chaos_over_http_every_request_terminal(self, spec, all_ok):
+        # the chaos invariant one network hop out: with faults injected,
+        # every HTTP request still gets a terminal response, and every
+        # 200 body is bit-identical to the fault-free inline oracle
+        layers = _layers(52)
+        n_clients, per_client = 3, 2
+        reqs = _requests(53, n=n_clients * per_client)
+        want = _oracle_outputs(layers, reqs)
+        server = _server(layers, max_retries=2, faults=spec)
+        results: dict[int, object] = {}
+        errors: list = []
+        with server, _serving(server) as net:
+            def worker(c_idx):
+                try:
+                    client = _client(net)
+                    for j in range(per_client):
+                        i = c_idx * per_client + j
+                        results[i] = client.infer(reqs[i])
+                    client.close()
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(c,)) for c in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30.0)
+        assert not errors, errors
+        assert len(results) == len(reqs)
+        for i, r in sorted(results.items()):
+            assert r.http_status in HTTP_TERMINAL, (i, r)
+            if all_ok:
+                assert r.status == "ok", (i, r)
+            if r.status == "ok":
+                np.testing.assert_array_equal(r.output, want[i])
+            else:
+                assert r.status == "failed"
+                assert r.error["code"] == "request_failed"
+
+
+class TestAsyncClientAndTransport:
+    def test_async_client_and_load_transport(self):
+        layers = _layers(60)
+        reqs = _requests(61, n=8)
+        want = _oracle_outputs(layers, reqs)
+        server = _server(layers)
+        with server, _serving(server) as net:
+            async def go():
+                async with AsyncInferClient("127.0.0.1", net.port) as client:
+                    status, doc = await client.get_json("/healthz")
+                    assert status == 200 and doc["ready"]
+                    r = await client.infer(reqs[0])
+                    assert r.status == "ok"
+                    np.testing.assert_array_equal(r.output, want[0])
+                async with HttpLoadTransport(
+                    "127.0.0.1", net.port, connections=4
+                ) as transport:
+                    result = await run_open_loop(
+                        transport,
+                        lambda i: reqs[i % len(reqs)],
+                        rate=200.0,
+                        duration_s=0.2,
+                        arrival="fixed",
+                        seed=0,
+                    )
+                assert result.all_ok and result.requests > 0
+                for i, r in enumerate(result.served):
+                    np.testing.assert_array_equal(
+                        r.output, want[i % len(reqs)]
+                    )
+                assert result.latency_ms["p99"] > 0.0
+
+            asyncio.run(go())
+
+
+class TestLifecycle:
+    def test_graceful_drain_writes_final_stats(self, tmp_path):
+        stats_path = tmp_path / "net-stats.json"
+        layers = _layers(70)
+        server = _server(layers)
+        loop = ServingLoop(server, max_wave_rows=4)
+        net = NetServer(
+            loop, port=0, owns_loop=True, drain_timeout_s=10.0,
+            stats_json=str(stats_path),
+        )
+        with server:
+            net.start_background()
+            c = _client(net)
+            for x in _requests(71, n=5):
+                assert c.infer(x).status == "ok"
+            c.close()
+            net.stop_background()
+        assert net.final_stats is not None
+        assert net.final_stats["requests"] == 5
+        assert net.final_stats["net"]["requests_seen"] == 5
+        assert net.final_stats["net"]["drained"] is True
+        on_disk = json.loads(stats_path.read_text())
+        assert on_disk["requests"] == 5
+
+    def test_submissions_after_close_are_refused(self):
+        layers = _layers(72)
+        server = _server(layers)
+        with server:
+            with _serving(server) as net:
+                port = net.port
+                c = _client(net)
+                assert c.infer(_requests(73, n=1)[0]).status == "ok"
+                c.close()
+            # listener is gone after close: connections are refused
+            with pytest.raises(OSError):
+                InferClient("127.0.0.1", port).infer(_requests(73, n=1)[0])
